@@ -1,0 +1,29 @@
+//! The three state-of-the-art disk-based GNN training systems the paper
+//! compares against, re-implemented at the systems level on the identical
+//! storage / device / model substrates so every timing difference comes
+//! from their *mechanisms*, not from implementation accidents:
+//!
+//! * [`PygPlus`] — the mmap extension of PyG (Park et al., 2022): both
+//!   topology and features are memory-mapped, so the sample and extract
+//!   stages compete for the shared OS page cache, and every feature miss
+//!   is a synchronous blocking read on the critical path.
+//! * [`Ginex`] — superbatch processing with a degree-ordered neighbor
+//!   cache, a Belady (provably optimal) feature cache computed by an
+//!   *inspect* pass, and sampling results spilled to / re-read from SSD —
+//!   the extra I/O the paper calls out.
+//! * [`MariusGnn`] — partition-buffer training: an epoch-level *data
+//!   preparation* phase orders partitions and preloads the buffer, then
+//!   training samples only within in-memory partitions, swapping
+//!   partitions on a schedule.
+//!
+//! All three implement
+//! [`TrainingSystem`](gnndrive_core::TrainingSystem).
+
+pub mod common;
+pub mod ginex;
+pub mod marius;
+pub mod pygplus;
+
+pub use ginex::{Ginex, GinexConfig};
+pub use marius::{MariusGnn, MariusConfig};
+pub use pygplus::{PygPlus, PygPlusConfig};

@@ -1,0 +1,153 @@
+//! Criterion micro-benchmarks for the hot data structures and kernels:
+//! the feature-buffer manager's plan/release cycle, the LRU list, the page
+//! cache hit path, the io_uring-style ring (on a zero-latency device, so
+//! the measured cost is the software overhead), neighborhood sampling, and
+//! the GNN layer kernels.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gnndrive_core::{FeatureBufferManager, GnnDriveConfig};
+use gnndrive_device::FeatureSlab;
+use gnndrive_graph::{generate_graph, CscTopology};
+use gnndrive_nn::{build_model, ModelKind};
+use gnndrive_sampling::{InMemTopo, NeighborSampler};
+use gnndrive_storage::{IoRing, LruList, MemoryGovernor, PageCache, SimSsd, SsdProfile};
+use gnndrive_tensor::Matrix;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_lru(c: &mut Criterion) {
+    c.bench_function("lru/push_touch_pop_1k", |b| {
+        b.iter_batched(
+            || LruList::new(1024),
+            |mut l| {
+                for s in 0..1024u32 {
+                    l.push_back(s);
+                }
+                for s in (0..1024u32).step_by(3) {
+                    l.touch(s);
+                }
+                while l.pop_front().is_some() {}
+                black_box(l.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_feature_buffer(c: &mut Criterion) {
+    let slab = Arc::new(FeatureSlab::new(4096, 8));
+    let fb = FeatureBufferManager::new(slab, 100_000, &GnnDriveConfig::default());
+    let nodes: Vec<u32> = (0..1024u32).map(|i| i * 7 % 100_000).collect();
+    c.bench_function("feature_buffer/plan_publish_release_1k", |b| {
+        b.iter(|| {
+            let plan = fb.plan_batch(&nodes);
+            for &(_, n) in &plan.to_load {
+                fb.publish(n);
+            }
+            fb.release(&nodes);
+            black_box(plan.aliases.len())
+        })
+    });
+}
+
+fn bench_pagecache(c: &mut Criterion) {
+    let ssd = SimSsd::new(SsdProfile::instant());
+    let f = ssd.create_file(1 << 22);
+    let cache = PageCache::new(ssd, MemoryGovernor::unlimited());
+    // Warm.
+    let mut buf = vec![0u8; 4096];
+    for p in 0..1024u64 {
+        cache.read(f, p * 4096, &mut buf);
+    }
+    c.bench_function("pagecache/hit_read_512B", |b| {
+        let mut small = vec![0u8; 512];
+        let mut p = 0u64;
+        b.iter(|| {
+            cache.read(f, (p % 1024) * 4096 + 128, &mut small);
+            p += 1;
+            black_box(small[0])
+        })
+    });
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let ssd = SimSsd::new(SsdProfile::instant());
+    let f = ssd.create_file(1 << 22);
+    c.bench_function("ring/submit_reap_64x512B", |b| {
+        b.iter(|| {
+            let mut ring = IoRing::new(Arc::clone(&ssd), 64, true);
+            for i in 0..64u64 {
+                ring.prepare_read(f, (i * 512) % (1 << 22), 512, i).unwrap();
+            }
+            let mut n = 0;
+            ring.drain(|c| {
+                c.result.unwrap();
+                n += 1;
+            });
+            black_box(n)
+        })
+    });
+}
+
+fn bench_sampler(c: &mut Criterion) {
+    let g = generate_graph(20_000, 200_000, 8, 0.7, 3);
+    let topo: Arc<CscTopology> = Arc::new(g.topology);
+    let sampler = NeighborSampler::new(Arc::new(InMemTopo::new(topo)), vec![4, 4, 4]);
+    let seeds: Vec<u32> = (0..32u32).map(|i| i * 601 % 20_000).collect();
+    c.bench_function("sampler/3hop_fanout4_batch32", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(sampler.sample(i, &seeds, 9).input_nodes.len())
+        })
+    });
+}
+
+fn bench_nn(c: &mut Criterion) {
+    let g = generate_graph(5_000, 50_000, 8, 0.7, 4);
+    let topo: Arc<CscTopology> = Arc::new(g.topology);
+    let sampler = NeighborSampler::new(Arc::new(InMemTopo::new(topo)), vec![4, 4]);
+    let seeds: Vec<u32> = (0..32u32).collect();
+    let sample = sampler.sample(0, &seeds, 1);
+    let dim = 64;
+    let input = Matrix::from_fn(sample.input_nodes.len(), dim, |r, cix| {
+        ((r * 13 + cix * 7) % 11) as f32 * 0.1 - 0.5
+    });
+    let labels: Vec<usize> = sample.seeds.iter().map(|&s| (s % 8) as usize).collect();
+    for kind in [ModelKind::GraphSage, ModelKind::Gcn, ModelKind::Gat] {
+        let mut model = build_model(kind, dim, 16, 8, 2, 5);
+        c.bench_function(&format!("nn/train_step_{}", kind.name()), |b| {
+            b.iter(|| black_box(model.train_step(&sample.blocks, &input, &labels).loss))
+        });
+    }
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let a = Matrix::from_fn(256, 128, |r, cix| ((r + cix) % 7) as f32 * 0.3);
+    let bm = Matrix::from_fn(128, 64, |r, cix| ((r * 3 + cix) % 5) as f32 * 0.2);
+    c.bench_function("tensor/matmul_256x128x64", |b| {
+        b.iter(|| black_box(a.matmul(&bm).get(0, 0)))
+    });
+}
+
+fn quick() -> Criterion {
+    // Small sample counts: these run on a 1-core container alongside the
+    // simulation's own worker threads.
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(900))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_lru,
+        bench_feature_buffer,
+        bench_pagecache,
+        bench_ring,
+        bench_sampler,
+        bench_nn,
+        bench_matmul
+}
+criterion_main!(benches);

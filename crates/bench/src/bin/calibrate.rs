@@ -1,0 +1,68 @@
+//! Calibration probe: measures per-batch stage costs for every system on
+//! one scenario so the simulation scales (SSD profile, compute rates,
+//! buffer sizes) can be sanity-checked against the paper's shape
+//! (extract ≫ sample ≈ train; GNNDrive ≫ baselines).
+
+use gnndrive_bench::{build_system, dataset_for, env_knobs, print_table, Row, Scenario, SystemKind};
+use gnndrive_graph::MiniDataset;
+
+fn main() {
+    let knobs = env_knobs();
+    let sc = Scenario::default_for(MiniDataset::Papers100M, &knobs);
+    eprintln!(
+        "calibrating on {} scale={} dim={} budget={} MiB",
+        sc.dataset.name(),
+        sc.scale,
+        sc.dim,
+        sc.budget_bytes() / (1024 * 1024)
+    );
+    let t0 = std::time::Instant::now();
+    let ds = dataset_for(&sc);
+    eprintln!(
+        "dataset built in {:?}: {} nodes, {} edges, train {}",
+        t0.elapsed(),
+        ds.spec.num_nodes,
+        ds.spec.num_edges,
+        ds.train_idx.len()
+    );
+
+    let mut rows = Vec::new();
+    for kind in [
+        SystemKind::GnnDriveGpu,
+        SystemKind::GnnDriveCpu,
+        SystemKind::PygPlus,
+        SystemKind::Ginex,
+        SystemKind::Marius,
+    ] {
+        let t0 = std::time::Instant::now();
+        match build_system(kind, &sc, &ds) {
+            Ok(mut sys) => {
+                let r = sys.train_epoch(0, knobs.max_batches);
+                let per_batch = r.wall.as_secs_f64() / r.batches.max(1) as f64;
+                rows.push(
+                    Row::new(kind.name())
+                        .cell(format!("{}", r.batches))
+                        .secs(r.wall.as_secs_f64())
+                        .secs(per_batch)
+                        .secs(r.extrapolated_wall().as_secs_f64())
+                        .secs(r.sample_secs)
+                        .secs(r.extract_secs)
+                        .secs(r.train_secs)
+                        .secs(r.prep_secs)
+                        .cell(format!("{:.1}", r.bytes_read as f64 / 1e6))
+                        .cell(r.error.clone().unwrap_or_default()),
+                );
+                eprintln!("{}: {:?} total", kind.name(), t0.elapsed());
+            }
+            Err(e) => rows.push(Row::new(kind.name()).cell(format!("build failed: {e}"))),
+        }
+    }
+    print_table(
+        "calibration (papers100m-mini, GraphSAGE)",
+        &[
+            "batches", "wall_s", "s/batch", "epoch_s", "sample_s", "extract_s", "train_s",
+            "prep_s", "MB_read", "err",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,213 @@
+//! `gnndrive` — command-line front end for the reproduction.
+//!
+//! ```text
+//! gnndrive dataset build --name papers100m-mini [--dim 128] [--scale 1.0] --out DIR
+//! gnndrive train [--name papers100m-mini | --data DIR] [--system gnndrive-gpu]
+//!                [--model sage|gcn|gat] [--epochs 3] [--batch 32]
+//!                [--memory-gb 32] [--max-batches N] [--checkpoint FILE]
+//! gnndrive systems          # list available systems
+//! ```
+//!
+//! Argument parsing is hand-rolled (the repo keeps its dependency set to
+//! the approved offline crates).
+
+use gnndrive_bench::{build_system, dataset_for, env_knobs, Scenario, SystemKind};
+use gnndrive_graph::{Dataset, MiniDataset};
+use gnndrive_nn::ModelKind;
+use gnndrive_storage::{SimSsd, SsdProfile};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  gnndrive dataset build --name <mini-dataset> [--dim D] [--scale S] --out DIR\n  \
+         gnndrive train [--name <mini-dataset> | --data DIR] [--system S] [--model M]\n          \
+         [--epochs N] [--batch B] [--memory-gb G] [--max-batches K] [--checkpoint FILE]\n  \
+         gnndrive systems"
+    );
+    std::process::exit(2);
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(key) = a.strip_prefix("--") {
+            if i + 1 >= args.len() {
+                eprintln!("missing value for --{key}");
+                usage();
+            }
+            out.insert(key.to_string(), args[i + 1].clone());
+            i += 2;
+        } else {
+            eprintln!("unexpected argument: {a}");
+            usage();
+        }
+    }
+    out
+}
+
+fn dataset_by_name(name: &str) -> Option<MiniDataset> {
+    MiniDataset::ALL.into_iter().find(|d| d.name() == name)
+}
+
+fn system_by_name(name: &str) -> Option<SystemKind> {
+    match name {
+        "gnndrive-gpu" | "gnndrive" => Some(SystemKind::GnnDriveGpu),
+        "gnndrive-cpu" => Some(SystemKind::GnnDriveCpu),
+        "pyg+" | "pygplus" => Some(SystemKind::PygPlus),
+        "ginex" => Some(SystemKind::Ginex),
+        "marius" | "mariusgnn" => Some(SystemKind::Marius),
+        _ => None,
+    }
+}
+
+fn model_by_name(name: &str) -> Option<ModelKind> {
+    match name.to_ascii_lowercase().as_str() {
+        "sage" | "graphsage" => Some(ModelKind::GraphSage),
+        "gcn" => Some(ModelKind::Gcn),
+        "gat" => Some(ModelKind::Gat),
+        _ => None,
+    }
+}
+
+fn cmd_dataset_build(flags: HashMap<String, String>) {
+    let name = flags.get("name").map(String::as_str).unwrap_or_else(|| usage());
+    let Some(mini) = dataset_by_name(name) else {
+        eprintln!(
+            "unknown dataset {name}; available: {}",
+            MiniDataset::ALL.map(|d| d.name()).join(", ")
+        );
+        std::process::exit(2);
+    };
+    let out = flags.get("out").map(String::as_str).unwrap_or_else(|| usage());
+    let knobs = env_knobs();
+    let mut sc = Scenario::default_for(mini, &knobs);
+    if let Some(d) = flags.get("dim") {
+        sc.dim = d.parse().expect("--dim");
+    }
+    if let Some(s) = flags.get("scale") {
+        sc.scale = s.parse().expect("--scale");
+    }
+    let t0 = std::time::Instant::now();
+    let ds = dataset_for(&sc);
+    ds.save_to_dir(std::path::Path::new(out)).expect("save dataset");
+    println!(
+        "built {} ({} nodes, {} edges, dim {}) in {:.2?} -> {out}",
+        ds.spec.name,
+        ds.spec.num_nodes,
+        ds.spec.num_edges,
+        ds.spec.feat_dim,
+        t0.elapsed()
+    );
+}
+
+fn cmd_train(flags: HashMap<String, String>) {
+    let knobs = env_knobs();
+    let system = flags
+        .get("system")
+        .map(|s| system_by_name(s).unwrap_or_else(|| usage()))
+        .unwrap_or(SystemKind::GnnDriveGpu);
+    let model = flags
+        .get("model")
+        .map(|m| model_by_name(m).unwrap_or_else(|| usage()))
+        .unwrap_or(ModelKind::GraphSage);
+    let epochs: u64 = flags.get("epochs").map(|v| v.parse().expect("--epochs")).unwrap_or(3);
+    let max_batches = flags
+        .get("max-batches")
+        .map(|v| v.parse().expect("--max-batches"))
+        .map(Some)
+        .unwrap_or(knobs.max_batches);
+
+    // Resolve the dataset: saved directory or named analog.
+    let (sc, ds) = if let Some(dir) = flags.get("data") {
+        let ssd = SimSsd::new(SsdProfile::pm883_repro());
+        let ds = Arc::new(
+            Dataset::load_from_dir(std::path::Path::new(dir), ssd).expect("load dataset"),
+        );
+        let mini = dataset_by_name(&ds.spec.name).unwrap_or(MiniDataset::Papers100M);
+        let mut sc = Scenario::default_for(mini, &knobs);
+        sc.dim = ds.spec.feat_dim;
+        (sc, ds)
+    } else {
+        let name = flags
+            .get("name")
+            .map(String::as_str)
+            .unwrap_or("papers100m-mini");
+        let mini = dataset_by_name(name).unwrap_or_else(|| usage());
+        let mut sc = Scenario::default_for(mini, &knobs);
+        if let Some(d) = flags.get("dim") {
+            sc.dim = d.parse().expect("--dim");
+        }
+        let ds = dataset_for(&sc);
+        (sc, ds)
+    };
+
+    let mut sc = sc;
+    sc.model = model;
+    if let Some(b) = flags.get("batch") {
+        sc.batch_size = b.parse().expect("--batch");
+    }
+    if let Some(g) = flags.get("memory-gb") {
+        sc.memory_gb = g.parse().expect("--memory-gb");
+    }
+
+    let mut sys = match build_system(system, &sc, &ds) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{}: failed to build: {e}", system.name());
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "training {} / {} on {} (budget {} MiB, batch {})",
+        sys.name(),
+        model.name(),
+        ds.spec.name,
+        sc.budget_bytes() / (1024 * 1024),
+        sc.batch_size
+    );
+    println!("epoch -1: val acc {:.1}%", sys.evaluate() * 100.0);
+    for e in 0..epochs {
+        let r = sys.train_epoch(e, max_batches);
+        if let Some(err) = &r.error {
+            eprintln!("epoch {e} aborted: {err}");
+            std::process::exit(1);
+        }
+        println!(
+            "epoch {e}: {} batches, wall {:.2?} (extrapolated {:.2?}), loss {:.3}, val acc {:.1}%",
+            r.batches,
+            r.wall,
+            r.extrapolated_wall(),
+            r.loss,
+            sys.evaluate() * 100.0
+        );
+    }
+    if flags.contains_key("checkpoint") {
+        eprintln!("note: --checkpoint requires the library API (Pipeline::model_mut().save()); the CLI trains behind the TrainingSystem trait which does not expose weights.");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) if cmd == "dataset" => match rest.split_first() {
+            Some((sub, flags)) if sub == "build" => cmd_dataset_build(parse_flags(flags)),
+            _ => usage(),
+        },
+        Some((cmd, rest)) if cmd == "train" => cmd_train(parse_flags(rest)),
+        Some((cmd, _)) if cmd == "systems" => {
+            for k in [
+                SystemKind::GnnDriveGpu,
+                SystemKind::GnnDriveCpu,
+                SystemKind::PygPlus,
+                SystemKind::Ginex,
+                SystemKind::Marius,
+            ] {
+                println!("{}", k.name());
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,64 @@
+//! Figure 10 — epoch runtime vs mini-batch size.
+//!
+//! The paper sweeps 500–4000 (default 1000); at the reproduction's ÷31
+//! batch scale that is 16–128 (default 32). Paper shape: Ginex and
+//! GNNDrive improve with larger batches (fewer per epoch); PyG+
+//! fluctuates — larger batches demand more extract-side memory, which
+//! fights its page-cached sampling; PyG+ OOMs at the largest batch on
+//! Friendster with GAT.
+
+use gnndrive_bench::{build_system, dataset_for, env_knobs, print_series, Scenario, SystemKind};
+use gnndrive_graph::MiniDataset;
+use gnndrive_nn::ModelKind;
+
+fn main() {
+    let knobs = env_knobs();
+    let batches = [16usize, 32, 64, 128];
+    let scenarios: Vec<(MiniDataset, ModelKind)> = vec![
+        (MiniDataset::Papers100M, ModelKind::GraphSage),
+        (MiniDataset::Friendster, ModelKind::Gat),
+    ];
+    for (dataset, model) in scenarios {
+        let mut points = Vec::new();
+        for &bs in &batches {
+            let mut sc = Scenario::default_for(dataset, &knobs);
+            sc.model = model;
+            sc.batch_size = bs;
+            if model == ModelKind::Gat {
+                sc.fanouts = vec![4, 4, 2];
+            }
+            let ds = dataset_for(&sc);
+            let mut ys = Vec::new();
+            for kind in [SystemKind::PygPlus, SystemKind::Ginex, SystemKind::GnnDriveGpu] {
+                let y = match build_system(kind, &sc, &ds) {
+                    Ok(mut sys) => {
+                        let r = sys.train_epoch(0, knobs.max_batches);
+                        match r.error {
+                            Some(e) => {
+                                eprintln!("{} {} bs{bs} {}: {e}", dataset.name(), model.name(), kind.name());
+                                f64::NAN
+                            }
+                            None => r.extrapolated_wall().as_secs_f64(),
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("{} {} bs{bs} {}: {e}", dataset.name(), model.name(), kind.name());
+                        f64::NAN
+                    }
+                };
+                ys.push(y);
+            }
+            points.push((bs as f64, ys));
+        }
+        print_series(
+            &format!(
+                "Fig 10: epoch time (s) vs mini-batch size — {} / {} (NaN = OOM)",
+                dataset.name(),
+                model.name()
+            ),
+            "batch",
+            &["PyG+", "Ginex", "GNNDrive-GPU"],
+            &points,
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Figure 12 — GNNDrive epoch runtime vs feature-buffer size (1×–8× of
+//! the default).
+//!
+//! Paper shape: doubling the buffer helps (inter-batch locality: ~1.4×
+//! on Twitter/GraphSAGE for the GPU variant), but beyond 2× the gains
+//! flatten as management overheads offset the extra hits.
+
+use gnndrive_bench::{
+    build_system, dataset_for, env_knobs, feature_buffer_slots_for, print_series, Scenario,
+    SystemKind,
+};
+use gnndrive_graph::MiniDataset;
+
+fn main() {
+    let knobs = env_knobs();
+    let multipliers = [1usize, 2, 4, 8];
+    let datasets = [MiniDataset::Twitter, MiniDataset::Papers100M];
+    for dataset in datasets {
+        let mut points = Vec::new();
+        for &m in &multipliers {
+            let mut sc = Scenario::default_for(dataset, &knobs);
+            let base = feature_buffer_slots_for(&sc, 4);
+            sc.fb_slots_override = Some(base * m);
+            let ds = dataset_for(&sc);
+            let mut ys = Vec::new();
+            for kind in [SystemKind::GnnDriveGpu, SystemKind::GnnDriveCpu] {
+                let y = match build_system(kind, &sc, &ds) {
+                    Ok(mut sys) => {
+                        // Warm one epoch so inter-batch locality can act,
+                        // then measure.
+                        let _ = sys.train_epoch(0, knobs.max_batches);
+                        let r = sys.train_epoch(1, knobs.max_batches);
+                        match r.error {
+                            Some(e) => {
+                                eprintln!("{m}x {}: {e}", kind.name());
+                                f64::NAN
+                            }
+                            None => {
+                                eprintln!(
+                                    "{m}x {}: loaded {} reused {}",
+                                    kind.name(),
+                                    r.nodes_loaded,
+                                    r.nodes_reused
+                                );
+                                r.extrapolated_wall().as_secs_f64()
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("{m}x {}: {e}", kind.name());
+                        f64::NAN
+                    }
+                };
+                ys.push(y);
+            }
+            points.push((m as f64, ys));
+        }
+        print_series(
+            &format!(
+                "Fig 12: GNNDrive epoch time (s) vs feature-buffer size — {}",
+                dataset.name()
+            ),
+            "x default",
+            &["GNNDrive-GPU", "GNNDrive-CPU"],
+            &points,
+        );
+    }
+}

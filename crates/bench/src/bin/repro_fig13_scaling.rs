@@ -1,0 +1,68 @@
+//! Figure 13 — GNNDrive scalability with multiple devices.
+//!
+//! The paper's machine: eight Tesla K80s, two old Xeons, an Intel S3510
+//! SSD, 256 GB host memory. Paper shape: 2 subprocesses ≈ 1.7–1.8×
+//! speedup; returns diminish with more workers (gradient-sync overhead and
+//! the shared SSD), flattening around 6.
+
+use gnndrive_bench::scenario::build_gnndrive_workers;
+use gnndrive_bench::{dataset_for, env_knobs, print_series, Scenario};
+use gnndrive_core::{run_data_parallel, ParallelConfig};
+use gnndrive_graph::MiniDataset;
+use gnndrive_storage::SsdProfile;
+
+fn main() {
+    let knobs = env_knobs();
+    let workers_sweep = [1usize, 2, 4, 6, 8];
+    let mut sc = Scenario::default_for(MiniDataset::Mag240M, &knobs);
+    sc.ssd = SsdProfile::s3510_repro();
+    let ds = dataset_for(&sc);
+
+    for gpu in [true, false] {
+        let mut points = Vec::new();
+        for &w in &workers_sweep {
+            let y = match build_gnndrive_workers(&sc, &ds, w, gpu, true) {
+                Ok(mut pipelines) => {
+                    // Split the training set into equal segments.
+                    let segments = gnndrive_core::parallel::split_segments(
+                        &ds.train_idx,
+                        w,
+                        sc.batch_size,
+                    );
+                    for (p, seg) in pipelines.iter_mut().zip(segments) {
+                        p.set_train_segment(seg);
+                    }
+                    let pcfg = ParallelConfig {
+                        workers: w,
+                        ..Default::default()
+                    };
+                    let per_worker_cap = knobs.max_batches.map(|m| (m / w).max(2));
+                    let report = run_data_parallel(&mut pipelines, &pcfg, 0, per_worker_cap);
+                    // Extrapolate: measured wall covers cap×w batches of
+                    // the full epoch.
+                    let full: usize = report.per_worker.iter().map(|r| r.full_batches).sum();
+                    let done: usize = report.per_worker.iter().map(|r| r.batches).sum();
+                    report.epoch_wall.as_secs_f64() * full.max(1) as f64 / done.max(1) as f64
+                }
+                Err(e) => {
+                    eprintln!("{w} workers (gpu={gpu}): {e}");
+                    f64::NAN
+                }
+            };
+            eprintln!("workers={w} gpu={gpu}: epoch {y:.2}s");
+            points.push((w as f64, vec![y]));
+        }
+        print_series(
+            &format!(
+                "Fig 13: epoch time (s) vs workers — mag240m-mini / GraphSAGE / {} (K80-era)",
+                if gpu { "GPU" } else { "CPU" }
+            ),
+            "workers",
+            &["epoch s"],
+            &points,
+        );
+        let base = points[0].1[0];
+        let two = points[1].1[0];
+        println!("speedup at 2 workers: {:.2}x (paper: 1.7-1.8x)", base / two);
+    }
+}

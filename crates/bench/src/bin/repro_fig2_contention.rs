@@ -1,0 +1,69 @@
+//! Figure 2 — sampling time under memory contention.
+//!
+//! For PyG+, Ginex, and GNNDrive, measures per-epoch sampling time in two
+//! configurations over feature dimensions 64–512:
+//!
+//! * `-only`: the sample stage runs alone (no extraction pressure);
+//! * `-all`: sampling time measured *while the full SET pipeline runs* —
+//!   extract-side memory pressure evicts topology pages and slows the
+//!   samplers.
+//!
+//! The paper's shape: PyG+-all ≫ PyG+-only and the gap widens with
+//! dimension (5.4× at dim 128); Ginex-only ≈ Ginex-all; GNNDrive's
+//! sampling barely moves with dimension.
+
+use gnndrive_bench::{build_system, dataset_for, env_knobs, print_series, Scenario, SystemKind};
+use gnndrive_graph::MiniDataset;
+
+fn main() {
+    let knobs = env_knobs();
+    let dims = [64usize, 128, 256, 512];
+    let systems = [SystemKind::PygPlus, SystemKind::Ginex, SystemKind::GnnDriveGpu];
+    let mut points = Vec::new();
+    for &dim in &dims {
+        let mut ys = Vec::new();
+        for kind in systems {
+            let mut sc = Scenario::default_for(MiniDataset::Papers100M, &knobs);
+            sc.dim = dim;
+            let ds = dataset_for(&sc);
+
+            // `-only`: pure sampling epoch.
+            let only = match build_system(kind, &sc, &ds) {
+                Ok(mut sys) => sys
+                    .sample_only_epoch(0, knobs.max_batches)
+                    .as_secs_f64(),
+                Err(_) => f64::NAN,
+            };
+            // `-all`: run the full pipeline, report its accumulated
+            // sample-stage time.
+            let all = match build_system(kind, &sc, &ds) {
+                Ok(mut sys) => {
+                    let r = sys.train_epoch(0, knobs.max_batches);
+                    if r.error.is_some() {
+                        f64::NAN
+                    } else {
+                        r.sample_secs
+                    }
+                }
+                Err(_) => f64::NAN,
+            };
+            ys.push(only);
+            ys.push(all);
+            eprintln!("dim {dim} {}: only={only:.3}s all={all:.3}s", kind.name());
+        }
+        points.push((dim as f64, ys));
+    }
+    print_series(
+        "Fig 2: sampling time (s) vs feature dimension, papers100m-mini",
+        "dim",
+        &[
+            "PyG+-only",
+            "PyG+-all",
+            "Ginex-only",
+            "Ginex-all",
+            "GNNDrive-only",
+            "GNNDrive-all",
+        ],
+        &points,
+    );
+}

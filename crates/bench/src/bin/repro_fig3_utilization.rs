@@ -1,0 +1,59 @@
+//! Figure 3 — CPU utilization, GPU utilization, and I/O-wait ratio over a
+//! window of three epochs, for PyG+, Ginex, and MariusGNN.
+//!
+//! Paper shape: PyG+ and Ginex show long high-iowait phases with CPU and
+//! GPU near idle (synchronous loading); MariusGNN has a large iowait burst
+//! at the start of each epoch (data preparation) and low iowait inside the
+//! epoch.
+
+use gnndrive_bench::{build_system, dataset_for, env_knobs, print_series, Scenario, SystemKind};
+use gnndrive_graph::MiniDataset;
+use gnndrive_telemetry::{reset, set_gpu_count, Monitor};
+use std::time::Duration;
+
+fn main() {
+    let knobs = env_knobs();
+    let sc = Scenario::default_for(MiniDataset::Papers100M, &knobs);
+    let ds = dataset_for(&sc);
+    let epochs = 3u64;
+
+    for kind in [SystemKind::PygPlus, SystemKind::Ginex, SystemKind::Marius] {
+        match build_system(kind, &sc, &ds) {
+            Ok(mut sys) => {
+                reset();
+                set_gpu_count(1);
+                let monitor = Monitor::start(Duration::from_millis(100));
+                for e in 0..epochs {
+                    let r = sys.train_epoch(e, knobs.max_batches);
+                    if let Some(err) = r.error {
+                        eprintln!("{}: {err}", kind.name());
+                        break;
+                    }
+                }
+                let series = monitor.stop();
+                let points: Vec<(f64, Vec<f64>)> = series
+                    .iter()
+                    .map(|p| (p.t_secs, vec![p.cpu_util * 100.0, p.gpu_util * 100.0, p.io_wait * 100.0]))
+                    .collect();
+                print_series(
+                    &format!("Fig 3: utilization over 3 epochs — {}", kind.name()),
+                    "t (s)",
+                    &["CPU %", "GPU %", "iowait %"],
+                    &points,
+                );
+                // Aggregate summary row (easier to eyeball than the series).
+                let n = series.len().max(1) as f64;
+                let (c, g, w) = series.iter().fold((0.0, 0.0, 0.0), |acc, p| {
+                    (acc.0 + p.cpu_util, acc.1 + p.gpu_util, acc.2 + p.io_wait)
+                });
+                println!(
+                    "mean: cpu {:.1}%  gpu {:.1}%  iowait {:.1}%",
+                    c / n * 100.0,
+                    g / n * 100.0,
+                    w / n * 100.0
+                );
+            }
+            Err(e) => eprintln!("{}: build failed: {e}", kind.name()),
+        }
+    }
+}

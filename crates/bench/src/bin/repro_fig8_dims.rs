@@ -1,0 +1,85 @@
+//! Figure 8 — epoch runtime vs feature dimension (64–512), for every
+//! dataset × model × system combination.
+//!
+//! Paper shape to reproduce: GNNDrive-GPU wins nearly everywhere; PyG+ is
+//! far more dimension-sensitive than the others (7× from 64→512 on
+//! MAG240M); at small dims on small datasets (Twitter/Friendster) PyG+
+//! closes in because the page cache can hold the whole feature file;
+//! GNNDrive-CPU lags GPU most for GAT.
+//!
+//! Datasets/models can be narrowed: `REPRO_DATASETS=papers100m-mini,...`
+//! `REPRO_MODELS=GraphSAGE,GCN,GAT`.
+
+use gnndrive_bench::{build_system, dataset_for, env_knobs, print_series, Scenario, SystemKind};
+use gnndrive_graph::MiniDataset;
+use gnndrive_nn::ModelKind;
+
+fn selected_datasets() -> Vec<MiniDataset> {
+    match std::env::var("REPRO_DATASETS") {
+        Ok(v) => MiniDataset::ALL
+            .into_iter()
+            .filter(|d| v.split(',').any(|s| s.trim() == d.name()))
+            .collect(),
+        Err(_) => MiniDataset::ALL.to_vec(),
+    }
+}
+
+fn selected_models() -> Vec<ModelKind> {
+    match std::env::var("REPRO_MODELS") {
+        Ok(v) => ModelKind::ALL
+            .into_iter()
+            .filter(|m| v.split(',').any(|s| s.trim().eq_ignore_ascii_case(m.name())))
+            .collect(),
+        Err(_) => ModelKind::ALL.to_vec(),
+    }
+}
+
+fn main() {
+    let knobs = env_knobs();
+    let dims = [64usize, 128, 256, 512];
+    for dataset in selected_datasets() {
+        for model in selected_models() {
+            let mut points = Vec::new();
+            for &dim in &dims {
+                let mut sc = Scenario::default_for(dataset, &knobs);
+                sc.dim = dim;
+                sc.model = model;
+                if model == ModelKind::Gat {
+                    // Paper: GAT samples (10,10,5); scaled (4,4,2).
+                    sc.fanouts = vec![4, 4, 2];
+                }
+                let ds = dataset_for(&sc);
+                let mut ys = Vec::new();
+                for kind in SystemKind::MAIN_FOUR {
+                    let y = match build_system(kind, &sc, &ds) {
+                        Ok(mut sys) => {
+                            let r = sys.train_epoch(0, knobs.max_batches);
+                            if let Some(e) = r.error {
+                                eprintln!("{} {} dim{dim} {}: {e}", dataset.name(), model.name(), kind.name());
+                                f64::NAN
+                            } else {
+                                r.extrapolated_wall().as_secs_f64()
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("{} {} dim{dim} {}: {e}", dataset.name(), model.name(), kind.name());
+                            f64::NAN
+                        }
+                    };
+                    ys.push(y);
+                }
+                points.push((dim as f64, ys));
+            }
+            print_series(
+                &format!(
+                    "Fig 8: epoch time (s) vs dim — {} / {}",
+                    dataset.name(),
+                    model.name()
+                ),
+                "dim",
+                &["PyG+", "Ginex", "GNNDrive-GPU", "GNNDrive-CPU"],
+                &points,
+            );
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Figure 9 — epoch runtime vs host-memory capacity (8–128 GB, scaled),
+//! with the large feature dimension (512).
+//!
+//! Paper shape: all systems improve with more memory; PyG+ is the most
+//! memory-sensitive (page cache); Ginex OOMs at 8 GB on Twitter; GNNDrive
+//! barely moves beyond 32 GB because its extract-side footprint is fixed;
+//! even at 8 GB GNNDrive-GPU stays far ahead of PyG+.
+
+use gnndrive_bench::{build_system, dataset_for, env_knobs, print_series, Scenario, SystemKind};
+use gnndrive_graph::MiniDataset;
+
+fn main() {
+    let knobs = env_knobs();
+    let memories = [8u64, 16, 32, 64, 128];
+    let datasets = match std::env::var("REPRO_DATASETS") {
+        Ok(v) => MiniDataset::ALL
+            .into_iter()
+            .filter(|d| v.split(',').any(|s| s.trim() == d.name()))
+            .collect(),
+        Err(_) => vec![MiniDataset::Papers100M, MiniDataset::Twitter],
+    };
+    for dataset in datasets {
+        let mut points = Vec::new();
+        for &gb in &memories {
+            let mut sc = Scenario::default_for(dataset, &knobs);
+            sc.dim = 512;
+            sc.memory_gb = gb;
+            let ds = dataset_for(&sc);
+            let mut ys = Vec::new();
+            for kind in SystemKind::MAIN_FOUR {
+                let y = match build_system(kind, &sc, &ds) {
+                    Ok(mut sys) => {
+                        let r = sys.train_epoch(0, knobs.max_batches);
+                        match r.error {
+                            Some(e) => {
+                                eprintln!("{} {}GB {}: {e}", dataset.name(), gb, kind.name());
+                                f64::NAN
+                            }
+                            None => r.extrapolated_wall().as_secs_f64(),
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("{} {}GB {}: {e}", dataset.name(), gb, kind.name());
+                        f64::NAN // the paper's OOM cells
+                    }
+                };
+                ys.push(y);
+            }
+            points.push((gb as f64, ys));
+        }
+        print_series(
+            &format!(
+                "Fig 9: epoch time (s) vs memory (paper-GB), dim 512 — {} (NaN = OOM)",
+                dataset.name()
+            ),
+            "mem GB",
+            &["PyG+", "Ginex", "GNNDrive-GPU", "GNNDrive-CPU"],
+            &points,
+        );
+    }
+}

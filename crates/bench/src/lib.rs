@@ -1,0 +1,29 @@
+//! Experiment harness for the GNNDrive reproduction.
+//!
+//! One binary per table/figure of the paper lives in `src/bin/`; this
+//! library provides what they share: a [`Scenario`] describing one
+//! experimental point (dataset, model, dimension, memory budget, batch
+//! size, device), uniform constructors for all five systems under test,
+//! a process-wide dataset cache (building a dataset is expensive and every
+//! sweep reuses them), and plain-text table/series printers that emit the
+//! same rows the paper reports.
+//!
+//! Scaling: datasets are the ÷1000 analogs of Table 1 (see
+//! `gnndrive_graph::catalog`), host-memory budgets map paper-GB → MiB, and
+//! the SSD runs the `pm883_repro` profile (see `SsdProfile::pm883_repro`
+//! for why it is ~4× slower than the pm883 model). Harness knobs come from
+//! environment variables so `cargo run --bin repro_*` works bare:
+//!
+//! * `REPRO_SCALE` — extra dataset scale multiplier (default 1.0)
+//! * `REPRO_MAX_BATCHES` — measured mini-batches per epoch (default 12)
+//! * `REPRO_EPOCHS` — measured epochs per point (default 1)
+//! * `REPRO_FULL=1` — full-size mini datasets, whole epochs (slow)
+
+pub mod report;
+pub mod scenario;
+
+pub use report::{print_series, print_table, Row};
+pub use scenario::{
+    build_system, dataset_for, env_knobs, feature_buffer_slots_for, worst_case_batch_nodes,
+    EnvKnobs, Scenario, SystemKind,
+};

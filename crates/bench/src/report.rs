@@ -1,0 +1,90 @@
+//! Plain-text table and series output, shaped like the paper's figures.
+
+/// One table row: a label plus one cell per column.
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub label: String,
+    pub cells: Vec<String>,
+}
+
+impl Row {
+    pub fn new(label: impl Into<String>) -> Self {
+        Row {
+            label: label.into(),
+            cells: Vec::new(),
+        }
+    }
+
+    pub fn cell(mut self, v: impl Into<String>) -> Self {
+        self.cells.push(v.into());
+        self
+    }
+
+    pub fn secs(mut self, v: f64) -> Self {
+        self.cells.push(format!("{v:.3}"));
+        self
+    }
+}
+
+/// Print a fixed-width table: `title`, a header row, then data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Row]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    let label_w = rows
+        .iter()
+        .map(|r| r.label.len())
+        .chain(std::iter::once(8))
+        .max()
+        .unwrap();
+    for r in rows {
+        for (i, c) in r.cells.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+    }
+    print!("{:label_w$}", "");
+    for (h, w) in header.iter().zip(&widths) {
+        print!("  {h:>w$}");
+    }
+    println!();
+    for r in rows {
+        print!("{:label_w$}", r.label);
+        for (i, c) in r.cells.iter().enumerate() {
+            let w = widths.get(i).copied().unwrap_or(8);
+            print!("  {c:>w$}");
+        }
+        println!();
+    }
+}
+
+/// Print an (x, y…) series, one line per x (the paper's line charts).
+pub fn print_series(title: &str, x_name: &str, series_names: &[&str], points: &[(f64, Vec<f64>)]) {
+    println!("\n== {title} ==");
+    print!("{x_name:>10}");
+    for n in series_names {
+        print!("  {n:>14}");
+    }
+    println!();
+    for (x, ys) in points {
+        print!("{x:>10.3}");
+        for y in ys {
+            print!("  {y:>14.4}");
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_compose() {
+        let r = Row::new("a").cell("1").secs(2.5);
+        assert_eq!(r.cells, vec!["1".to_string(), "2.500".to_string()]);
+        // Printing should not panic on ragged rows.
+        print_table("t", &["x", "y"], &[r, Row::new("b").cell("only")]);
+        print_series("s", "n", &["a"], &[(1.0, vec![2.0])]);
+    }
+}

@@ -1,0 +1,159 @@
+//! GNNDrive configuration.
+
+use std::time::Duration;
+
+/// Tunables of a GNNDrive pipeline. Defaults follow the paper's evaluation
+/// setup (§5 "Baselines"): four samplers, four extractors, one trainer, one
+/// releaser; extracting-queue capacity six, training-queue capacity four.
+#[derive(Debug, Clone)]
+pub struct GnnDriveConfig {
+    /// Sampler thread-pool size (paper default: 4).
+    pub num_samplers: usize,
+    /// Extractor thread-pool size (paper default: 4). Also bounds the
+    /// staging buffer: its size is `num_extractors × per-extractor quota`.
+    pub num_extractors: usize,
+    /// Extracting-queue capacity (paper default: 6).
+    pub extract_queue_cap: usize,
+    /// Training-queue capacity (paper default: 4; restricted by device
+    /// memory to avoid OOM during training).
+    pub train_queue_cap: usize,
+    /// Feature-buffer capacity in slots (one feature row each). Must hold
+    /// at least `Ne × Mb` rows (deadlock reservation, §4.2).
+    pub feature_buffer_slots: usize,
+    /// Host staging-buffer quota per extractor, in bytes.
+    pub staging_bytes_per_extractor: u64,
+    /// Per-layer sampling fanouts (paper: (10,10,10), GAT (10,10,5)).
+    pub fanouts: Vec<usize>,
+    /// Seeds per mini-batch (paper default 1000; scaled here).
+    pub batch_size: usize,
+    /// Use direct I/O for feature loads (paper's default; `false` is the
+    /// buffered ablation of Appendix B).
+    pub direct_io: bool,
+    /// Allow out-of-order mini-batch flow between stages (§4.3). Disabling
+    /// it forces the trainer to consume batches in submission order (the
+    /// ablation for the reordering design choice).
+    pub reorder: bool,
+    /// io_uring submission-queue depth per extractor.
+    pub ring_depth: usize,
+    /// Upper bound for coalesced joint-extraction reads (§4.4).
+    pub max_joint_read_bytes: usize,
+    /// GPUDirect-Storage mode (paper §4.4 "GPU Direct Access", listed as
+    /// future work): loads go straight from SSD to the device-resident
+    /// feature buffer with no host staging hop, but at GDS's 4 KiB access
+    /// granularity — more redundant bytes per row.
+    pub gpu_direct: bool,
+    /// Ablation: replace asynchronous extraction with blocking reads (the
+    /// baselines' behaviour). Isolates the contribution of §4.2.
+    pub sync_extract: bool,
+    /// RNG seed for sampling.
+    pub seed: u64,
+    /// Safety valve: if an extractor waits longer than this for a standby
+    /// slot, the feature buffer is undersized for the workload — fail loud
+    /// rather than deadlock silently.
+    pub slot_wait_timeout: Duration,
+}
+
+impl Default for GnnDriveConfig {
+    fn default() -> Self {
+        GnnDriveConfig {
+            num_samplers: 4,
+            num_extractors: 4,
+            extract_queue_cap: 6,
+            train_queue_cap: 4,
+            feature_buffer_slots: 64 * 1024,
+            staging_bytes_per_extractor: 8 * 1024 * 1024,
+            fanouts: vec![10, 10, 10],
+            batch_size: 100,
+            direct_io: true,
+            reorder: true,
+            gpu_direct: false,
+            sync_extract: false,
+            ring_depth: 64,
+            max_joint_read_bytes: 16 * 1024,
+            seed: 7,
+            slot_wait_timeout: Duration::from_secs(20),
+        }
+    }
+}
+
+impl GnnDriveConfig {
+    /// Pick the extractor count and staging quota from the dataset's
+    /// topology volume and the host budget — the paper's sizing rule
+    /// (§4.2): "the staging buffer can be expanded or shrunk by adjusting
+    /// the number of extractors, which we decide with regard to the volume
+    /// of topological data and the capacity of available host memory."
+    ///
+    /// Policy: reserve room for the memory-mapped topology (the sampler's
+    /// working set) plus resident metadata; give extraction at most a
+    /// quarter of what remains, between one and eight extractors at 1 MiB
+    /// of staging each.
+    pub fn auto_tune(mut self, topology_bytes: u64, resident_bytes: u64, budget: u64) -> Self {
+        let spare = budget
+            .saturating_sub(topology_bytes)
+            .saturating_sub(resident_bytes);
+        let staging_total = (spare / 4).clamp(64 * 1024, 8 * 1024 * 1024);
+        let per = 1024 * 1024u64;
+        let extractors = (staging_total / per).clamp(1, 8) as usize;
+        self.num_extractors = extractors;
+        self.staging_bytes_per_extractor = (staging_total / extractors as u64).max(64 * 1024);
+        self.extract_queue_cap = (extractors + 2).max(self.num_samplers);
+        self
+    }
+
+    /// Feature-buffer payload bytes for dimension `dim`.
+    pub fn feature_buffer_bytes(&self, dim: usize) -> u64 {
+        (self.feature_buffer_slots * dim * 4) as u64
+    }
+
+    /// Total staging-buffer bytes.
+    pub fn staging_bytes(&self) -> u64 {
+        self.staging_bytes_per_extractor * self.num_extractors as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_queue_shape() {
+        let c = GnnDriveConfig::default();
+        assert_eq!(c.num_samplers, 4);
+        assert_eq!(c.num_extractors, 4);
+        assert_eq!(c.extract_queue_cap, 6);
+        assert_eq!(c.train_queue_cap, 4);
+        assert!(c.extract_queue_cap >= c.num_samplers);
+        assert!(c.train_queue_cap >= c.train_queue_cap.min(c.num_extractors));
+        assert!(c.direct_io && c.reorder);
+    }
+
+    #[test]
+    fn auto_tune_scales_extractors_with_spare_memory() {
+        let base = GnnDriveConfig::default();
+        // Roomy budget: the full 8 extractors at 1 MiB each.
+        let roomy = base.clone().auto_tune(6 << 20, 2 << 20, 64 << 20);
+        assert_eq!(roomy.num_extractors, 8);
+        assert!(roomy.staging_bytes() >= 8 << 20);
+        // Tight budget: extraction shrinks to one extractor and a small
+        // staging region instead of starving the sampler.
+        let tight = GnnDriveConfig::default().auto_tune(6 << 20, 2 << 20, 9 << 20);
+        assert_eq!(tight.num_extractors, 1);
+        assert!(tight.staging_bytes() <= 1 << 20);
+        // Budget below the topology: clamps to the floor, never zero.
+        let floor = GnnDriveConfig::default().auto_tune(32 << 20, 0, 8 << 20);
+        assert_eq!(floor.num_extractors, 1);
+        assert!(floor.staging_bytes() >= 64 * 1024);
+    }
+
+    #[test]
+    fn derived_sizes() {
+        let c = GnnDriveConfig {
+            feature_buffer_slots: 100,
+            staging_bytes_per_extractor: 1000,
+            num_extractors: 3,
+            ..Default::default()
+        };
+        assert_eq!(c.feature_buffer_bytes(128), 100 * 512);
+        assert_eq!(c.staging_bytes(), 3000);
+    }
+}

@@ -1,0 +1,531 @@
+//! The feature-buffer manager (paper §4.2, Fig 6, Algorithm 1).
+//!
+//! Four components, exactly as the paper describes:
+//!
+//! * a **mapping table** — per graph node: slot index (−1 = none), a
+//!   reference count, and a valid bit. (slot ≠ −1, valid=1) means the data
+//!   is ready in the slot; (slot ≠ −1, valid=0) means it is being extracted
+//!   by some extractor; (slot = −1, valid=0) means not buffered; (−1, 1) is
+//!   impossible.
+//! * the **buffer** itself — a [`FeatureSlab`] of fixed feature-row slots
+//!   in device memory (host memory for CPU training);
+//! * a **reverse mapping array** — per slot, which node currently owns it
+//!   (−1 = free);
+//! * a **standby list** — an LRU list of slots that are free or retired
+//!   (reference count zero) but possibly still valid, enabling inter-batch
+//!   reuse; invalidation of a retired node is *delayed* until its slot is
+//!   actually stolen.
+//!
+//! Concurrency follows Algorithm 1: an extractor plans a batch atomically
+//! (reuse pass + slot allocation), loads asynchronously, publishes valid
+//! bits, and other extractors wanting the same node wait instead of
+//! re-extracting. The deadlock reservation (≥ `Ne × Mb` slots) is the
+//! caller's responsibility; a loud timeout guards against undersizing.
+
+use crate::config::GnnDriveConfig;
+use gnndrive_device::FeatureSlab;
+use gnndrive_graph::NodeId;
+use gnndrive_storage::LruList;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const NO_SLOT: i64 = -1;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    slot: i64,
+    ref_count: u32,
+    valid: bool,
+    /// The extractor loading this node gave up (I/O failure); waiters must
+    /// error out and future planners must re-load.
+    aborted: bool,
+}
+
+struct Inner {
+    map: Vec<Entry>,
+    /// Per slot: owning node id, or −1.
+    reverse: Vec<i64>,
+    standby: LruList,
+}
+
+/// The plan produced for one mini-batch: which slots alias which input
+/// nodes, which nodes this extractor must load, and which nodes another
+/// extractor is already loading.
+#[derive(Debug)]
+pub struct ExtractPlan {
+    /// Final slot alias per input node (aligned with the batch's
+    /// `input_nodes`). Entries for `wait_for` nodes are resolved by
+    /// [`FeatureBufferManager::wait_ready`].
+    pub aliases: Vec<u32>,
+    /// `(position in input_nodes, node)` pairs this extractor must load.
+    pub to_load: Vec<(usize, NodeId)>,
+    /// `(position, node)` pairs being loaded by other extractors.
+    pub wait_for: Vec<(usize, NodeId)>,
+}
+
+/// Counters for the buffer's reuse behaviour (Fig 12 diagnostics).
+#[derive(Debug, Default)]
+pub struct FeatureBufferStats {
+    /// Nodes served from the buffer without any I/O (valid hit).
+    pub reuse_hits: AtomicU64,
+    /// Nodes resolved by waiting on another extractor's in-flight load.
+    pub shared_loads: AtomicU64,
+    /// Nodes this manager asked extractors to load from SSD.
+    pub loads: AtomicU64,
+    /// Valid entries invalidated when their slot was stolen.
+    pub delayed_invalidations: AtomicU64,
+}
+
+/// See module docs.
+pub struct FeatureBufferManager {
+    slab: Arc<FeatureSlab>,
+    inner: Mutex<Inner>,
+    slot_available: Condvar,
+    data_ready: Condvar,
+    timeout: Duration,
+    stats: FeatureBufferStats,
+}
+
+impl FeatureBufferManager {
+    /// Manage `slab` for a graph of `num_nodes` nodes.
+    pub fn new(slab: Arc<FeatureSlab>, num_nodes: usize, config: &GnnDriveConfig) -> Self {
+        let num_slots = slab.num_slots();
+        let mut standby = LruList::new(num_slots);
+        for s in 0..num_slots as u32 {
+            standby.push_back(s);
+        }
+        FeatureBufferManager {
+            slab,
+            inner: Mutex::new(Inner {
+                map: vec![
+                    Entry {
+                        slot: NO_SLOT,
+                        ref_count: 0,
+                        valid: false,
+                        aborted: false,
+                    };
+                    num_nodes
+                ],
+                reverse: vec![NO_SLOT; num_slots],
+                standby,
+            }),
+            slot_available: Condvar::new(),
+            data_ready: Condvar::new(),
+            timeout: config.slot_wait_timeout,
+            stats: FeatureBufferStats::default(),
+        }
+    }
+
+    pub fn slab(&self) -> &Arc<FeatureSlab> {
+        &self.slab
+    }
+
+    pub fn num_slots(&self) -> usize {
+        self.slab.num_slots()
+    }
+
+    pub fn stats(&self) -> &FeatureBufferStats {
+        &self.stats
+    }
+
+    /// Slots currently in the standby list (free or retired).
+    pub fn standby_len(&self) -> usize {
+        self.inner.lock().standby.len()
+    }
+
+    /// Algorithm 1, lines 5–29: pin every input node, reusing valid data,
+    /// queueing in-flight nodes for waiting, and allocating LRU standby
+    /// slots (with delayed invalidation of their previous owners) for the
+    /// nodes this extractor must load.
+    ///
+    /// Blocks while the standby list is empty (waiting for the releaser);
+    /// panics after the configured timeout — that means the feature buffer
+    /// violates the `Ne × Mb` reservation for this workload.
+    pub fn plan_batch(&self, input_nodes: &[NodeId]) -> ExtractPlan {
+        let mut inner = self.inner.lock();
+        let mut aliases = vec![0u32; input_nodes.len()];
+        let mut to_load = Vec::new();
+        let mut wait_for = Vec::new();
+
+        // Reuse pass (lines 5–19).
+        for (i, &node) in input_nodes.iter().enumerate() {
+            let e = inner.map[node as usize];
+            if e.valid {
+                debug_assert!(e.slot != NO_SLOT, "valid entry must have a slot");
+                if e.ref_count == 0 {
+                    // Retired but still resident: pull its slot back out of
+                    // the standby list before someone steals it.
+                    inner.standby.remove(e.slot as u32);
+                }
+                aliases[i] = e.slot as u32;
+                self.stats.reuse_hits.fetch_add(1, Ordering::Relaxed);
+            } else if e.ref_count > 0 && !e.aborted {
+                // Another extractor is loading this node right now.
+                wait_for.push((i, node));
+                self.stats.shared_loads.fetch_add(1, Ordering::Relaxed);
+            } else {
+                // Fresh node, or one whose previous loader aborted: this
+                // extractor takes over the load.
+                inner.map[node as usize].aborted = false;
+                to_load.push((i, node));
+            }
+            inner.map[node as usize].ref_count += 1;
+        }
+
+        // Allocation pass (lines 20–29).
+        for &(i, node) in &to_load {
+            let slot = loop {
+                if let Some(slot) = inner.standby.pop_front() {
+                    break slot;
+                }
+                // Wait for the releaser to retire slots.
+                let timed_out = self
+                    .slot_available
+                    .wait_for(&mut inner, self.timeout)
+                    .timed_out();
+                if timed_out {
+                    panic!(
+                        "feature buffer exhausted: no standby slot within {:?} — \
+                         the buffer ({} slots) is too small for Ne × Mb of this workload",
+                        self.timeout,
+                        self.slab.num_slots()
+                    );
+                }
+            };
+            // Delayed invalidation: evict the slot's previous owner now.
+            let prev = inner.reverse[slot as usize];
+            if prev != NO_SLOT {
+                let p = &mut inner.map[prev as usize];
+                debug_assert_eq!(p.ref_count, 0, "standby slot owner must be unpinned");
+                p.valid = false;
+                p.slot = NO_SLOT;
+                self.stats
+                    .delayed_invalidations
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            inner.reverse[slot as usize] = node as i64;
+            inner.map[node as usize].slot = slot as i64;
+            debug_assert!(!inner.map[node as usize].valid);
+            aliases[i] = slot;
+            self.stats.loads.fetch_add(1, Ordering::Relaxed);
+        }
+
+        ExtractPlan {
+            aliases,
+            to_load,
+            wait_for,
+        }
+    }
+
+    /// Mark `node`'s slot data as extracted (valid bit → 1) and wake
+    /// waiters. Called once the node's host→device transfer completed.
+    pub fn publish(&self, node: NodeId) {
+        let mut inner = self.inner.lock();
+        let e = &mut inner.map[node as usize];
+        debug_assert!(e.slot != NO_SLOT, "publish of unmapped node {node}");
+        e.valid = true;
+        e.aborted = false;
+        drop(inner);
+        self.data_ready.notify_all();
+    }
+
+    /// Algorithm 1, line 36: block until every `wait_for` node published,
+    /// then resolve their aliases from the (now stable) mapping table.
+    ///
+    /// Errors if a node's loader aborted (its I/O failed permanently); the
+    /// caller abandons the batch via [`FeatureBufferManager::abort_batch`].
+    pub fn wait_ready(&self, plan: &mut ExtractPlan) -> Result<(), NodeId> {
+        if plan.wait_for.is_empty() {
+            return Ok(());
+        }
+        let mut inner = self.inner.lock();
+        for &(i, node) in &plan.wait_for {
+            loop {
+                let e = inner.map[node as usize];
+                if e.valid {
+                    plan.aliases[i] = e.slot as u32;
+                    break;
+                }
+                if e.aborted {
+                    return Err(node);
+                }
+                let timed_out = self
+                    .data_ready
+                    .wait_for(&mut inner, self.timeout)
+                    .timed_out();
+                if timed_out {
+                    panic!("timed out waiting for node {node} to become valid");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Abandon a planned batch after an unrecoverable extraction failure:
+    /// unpin every node; unpublished nodes this extractor owned either
+    /// return their slot to the standby list (no other pins) or are marked
+    /// aborted so waiters fail fast and the next planner re-loads them.
+    pub fn abort_batch(&self, plan: &ExtractPlan, input_nodes: &[NodeId]) {
+        let loading: std::collections::HashSet<NodeId> =
+            plan.to_load.iter().map(|&(_, n)| n).collect();
+        let mut inner = self.inner.lock();
+        for &node in input_nodes {
+            let e = &mut inner.map[node as usize];
+            debug_assert!(e.ref_count > 0);
+            e.ref_count -= 1;
+            let refs = e.ref_count;
+            let valid = e.valid;
+            let slot = e.slot;
+            if loading.contains(&node) && !valid {
+                if refs == 0 {
+                    // Nobody else cares: free the slot outright.
+                    if slot != NO_SLOT {
+                        inner.reverse[slot as usize] = NO_SLOT;
+                        let e = &mut inner.map[node as usize];
+                        e.slot = NO_SLOT;
+                        e.aborted = false;
+                        inner.standby.push_back(slot as u32);
+                    }
+                } else {
+                    // Waiters exist: poison the entry but release the slot
+                    // mapping so the takeover loader allocates fresh.
+                    if slot != NO_SLOT {
+                        inner.reverse[slot as usize] = NO_SLOT;
+                        inner.standby.push_back(slot as u32);
+                    }
+                    let e = &mut inner.map[node as usize];
+                    e.slot = NO_SLOT;
+                    e.aborted = true;
+                }
+            } else if refs == 0 && slot != NO_SLOT {
+                inner.standby.push_back(slot as u32);
+            }
+        }
+        drop(inner);
+        self.slot_available.notify_all();
+        self.data_ready.notify_all();
+    }
+
+    /// Release stage (§4.2 "Release Feature Buffer"): unpin every node of a
+    /// trained batch; slots whose reference count reaches zero join the
+    /// MRU end of the standby list, still valid for potential reuse.
+    pub fn release(&self, input_nodes: &[NodeId]) {
+        let mut inner = self.inner.lock();
+        let mut freed = false;
+        for &node in input_nodes {
+            let e = &mut inner.map[node as usize];
+            debug_assert!(e.ref_count > 0, "release underflow on node {node}");
+            e.ref_count -= 1;
+            if e.ref_count == 0 {
+                let slot = e.slot;
+                if slot != NO_SLOT {
+                    inner.standby.push_back(slot as u32);
+                    freed = true;
+                }
+            }
+        }
+        drop(inner);
+        if freed {
+            self.slot_available.notify_all();
+        }
+    }
+
+    /// Test/diagnostic view of one node's mapping entry:
+    /// `(slot, ref_count, valid)`.
+    pub fn entry(&self, node: NodeId) -> (i64, u32, bool) {
+        let inner = self.inner.lock();
+        let e = inner.map[node as usize];
+        (e.slot, e.ref_count, e.valid)
+    }
+
+    /// Validate the structural invariants (test helper): the live mapping
+    /// is injective, reverse mapping is consistent, and every standby slot
+    /// is free or owned by an unpinned node.
+    pub fn check_invariants(&self) {
+        let inner = self.inner.lock();
+        let mut seen = vec![false; inner.reverse.len()];
+        for (node, e) in inner.map.iter().enumerate() {
+            if e.slot != NO_SLOT {
+                let s = e.slot as usize;
+                assert!(!seen[s], "two nodes share slot {s}");
+                seen[s] = true;
+                assert_eq!(
+                    inner.reverse[s], node as i64,
+                    "reverse mapping broken for slot {s}"
+                );
+            } else {
+                assert!(!e.valid, "valid entry without slot (impossible state)");
+            }
+        }
+        for slot in inner.standby.iter() {
+            let owner = inner.reverse[slot as usize];
+            if owner != NO_SLOT {
+                assert_eq!(
+                    inner.map[owner as usize].ref_count, 0,
+                    "pinned node's slot {slot} is in standby"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manager(num_slots: usize, num_nodes: usize) -> FeatureBufferManager {
+        let slab = Arc::new(FeatureSlab::new(num_slots, 4));
+        let cfg = GnnDriveConfig {
+            slot_wait_timeout: Duration::from_millis(300),
+            ..Default::default()
+        };
+        FeatureBufferManager::new(slab, num_nodes, &cfg)
+    }
+
+    #[test]
+    fn fresh_nodes_are_planned_for_loading() {
+        let fb = manager(8, 20);
+        let plan = fb.plan_batch(&[3, 5, 7]);
+        assert_eq!(plan.to_load.len(), 3);
+        assert!(plan.wait_for.is_empty());
+        // Slots are distinct.
+        let mut a = plan.aliases.clone();
+        a.sort_unstable();
+        a.dedup();
+        assert_eq!(a.len(), 3);
+        fb.check_invariants();
+    }
+
+    #[test]
+    fn published_then_released_nodes_are_reused_without_io() {
+        let fb = manager(8, 20);
+        let mut plan = fb.plan_batch(&[3, 5]);
+        for &(_, n) in &plan.to_load {
+            fb.publish(n);
+        }
+        fb.wait_ready(&mut plan);
+        fb.release(&[3, 5]);
+        // Second batch over the same nodes: zero loads (inter-batch reuse).
+        let plan2 = fb.plan_batch(&[5, 3]);
+        assert!(plan2.to_load.is_empty());
+        assert!(plan2.wait_for.is_empty());
+        assert_eq!(fb.stats().reuse_hits.load(Ordering::Relaxed), 2);
+        assert_eq!(plan2.aliases.len(), 2);
+        fb.check_invariants();
+        fb.release(&[5, 3]);
+    }
+
+    #[test]
+    fn concurrent_batches_share_inflight_loads() {
+        let fb = manager(8, 20);
+        // Extractor A starts loading node 3.
+        let plan_a = fb.plan_batch(&[3]);
+        assert_eq!(plan_a.to_load.len(), 1);
+        // Extractor B wants node 3 too: must wait, not re-load.
+        let plan_b = fb.plan_batch(&[3]);
+        assert!(plan_b.to_load.is_empty());
+        assert_eq!(plan_b.wait_for.len(), 1);
+        let (_, _, valid) = fb.entry(3);
+        assert!(!valid);
+        assert_eq!(fb.entry(3).1, 2, "both extractors pin the node");
+        fb.check_invariants();
+    }
+
+    #[test]
+    fn wait_ready_resolves_aliases_after_publish() {
+        let fb = Arc::new(manager(8, 20));
+        let plan_a = fb.plan_batch(&[7]);
+        let mut plan_b = fb.plan_batch(&[7]);
+        let fb2 = Arc::clone(&fb);
+        let publisher = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            fb2.publish(7);
+        });
+        fb.wait_ready(&mut plan_b);
+        publisher.join().unwrap();
+        assert_eq!(plan_b.aliases[0], plan_a.aliases[0]);
+    }
+
+    #[test]
+    fn lru_steals_oldest_retired_slot_with_delayed_invalidation() {
+        let fb = manager(2, 10);
+        let p1 = fb.plan_batch(&[0]);
+        fb.publish(0);
+        fb.release(&[0]);
+        let p2 = fb.plan_batch(&[1]);
+        fb.publish(1);
+        fb.release(&[1]);
+        // Node 0 is still valid (delayed invalidation).
+        assert!(fb.entry(0).2);
+        // A third node steals the LRU slot — node 0's.
+        let p3 = fb.plan_batch(&[2]);
+        assert_eq!(p3.aliases[0], p1.aliases[0]);
+        let (slot0, _, valid0) = fb.entry(0);
+        assert_eq!(slot0, -1);
+        assert!(!valid0);
+        // Node 1 survives.
+        assert!(fb.entry(1).2);
+        assert_eq!(fb.stats().delayed_invalidations.load(Ordering::Relaxed), 1);
+        fb.check_invariants();
+        let _ = (p2, p3);
+    }
+
+    #[test]
+    fn retired_valid_node_is_rescued_from_standby_on_reuse() {
+        let fb = manager(2, 10);
+        fb.plan_batch(&[4]);
+        fb.publish(4);
+        fb.release(&[4]);
+        assert_eq!(fb.standby_len(), 2);
+        // Re-pinning node 4 must remove its slot from standby so an
+        // allocation cannot steal it mid-use.
+        let plan = fb.plan_batch(&[4]);
+        assert!(plan.to_load.is_empty());
+        assert_eq!(fb.standby_len(), 1);
+        fb.check_invariants();
+    }
+
+    #[test]
+    fn blocked_allocation_wakes_on_release() {
+        let fb = Arc::new(manager(1, 10));
+        let p1 = fb.plan_batch(&[0]);
+        fb.publish(0);
+        let fb2 = Arc::clone(&fb);
+        let releaser = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            fb2.release(&[0]);
+        });
+        // Blocks until the release above frees the only slot.
+        let p2 = fb.plan_batch(&[1]);
+        releaser.join().unwrap();
+        assert_eq!(p2.aliases[0], p1.aliases[0]);
+        fb.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "feature buffer exhausted")]
+    fn undersized_buffer_fails_loud() {
+        let fb = manager(1, 10);
+        let _p = fb.plan_batch(&[0]);
+        // Second distinct node with zero standby slots and nobody
+        // releasing: must panic after the (short) timeout.
+        let _ = fb.plan_batch(&[1]);
+    }
+
+    #[test]
+    fn duplicate_pins_and_releases_balance() {
+        let fb = manager(4, 10);
+        fb.plan_batch(&[2]);
+        fb.publish(2);
+        fb.plan_batch(&[2]);
+        assert_eq!(fb.entry(2).1, 2);
+        fb.release(&[2]);
+        assert_eq!(fb.entry(2).1, 1);
+        assert_eq!(fb.standby_len(), 3, "still pinned: not in standby");
+        fb.release(&[2]);
+        assert_eq!(fb.standby_len(), 4);
+        fb.check_invariants();
+    }
+}

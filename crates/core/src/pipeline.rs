@@ -1,0 +1,549 @@
+//! The GNNDrive pipeline: samplers → extractors → trainer → releaser
+//! (paper §4.1, Fig 4).
+//!
+//! Three bounded queues connect the four stages; since the queues carry
+//! only node-id lists and slot aliases — never feature payloads — they add
+//! no memory pressure. Samplers claim mini-batches from a shared cursor
+//! and may finish out of order; extractors likewise. Mini-batch
+//! *reordering* (§4.3) is therefore the default; setting
+//! [`GnnDriveConfig::reorder`] to `false` makes the trainer restore
+//! submission order (the ablation).
+
+use crate::config::GnnDriveConfig;
+use crate::extractor::{extract_batch, ExtractedBatch, ExtractorContext};
+use crate::feature_buffer::FeatureBufferManager;
+use crate::staging::StagingBuffer;
+use crate::system::{evaluate_model, EpochReport, TrainingSystem};
+use gnndrive_device::{DeviceAlloc, FeatureSlab, GpuDevice};
+use gnndrive_graph::{Dataset, NodeId};
+use gnndrive_nn::{build_model, GnnModel, ModelKind};
+use gnndrive_sampling::{BatchPlan, MiniBatchSample, MmapTopo, NeighborSampler, TopoReader};
+use gnndrive_storage::{MemCharge, MemoryGovernor, OomError, PageCache};
+use gnndrive_telemetry::{self as telemetry, State, ThreadClass};
+use gnndrive_tensor::{Adam, Matrix, Optimizer};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Per-epoch pipeline statistics (superset of [`EpochReport`]).
+#[derive(Debug, Clone, Default)]
+pub struct EpochStats {
+    pub report: EpochReport,
+}
+
+/// Whether the feature buffer lives on the device or in host memory.
+enum FeatureBufferHome {
+    Device(#[allow(dead_code)] DeviceAlloc),
+    Host(#[allow(dead_code)] MemCharge),
+}
+
+/// A fully wired GNNDrive training instance over one dataset and device.
+pub struct Pipeline {
+    cfg: GnnDriveConfig,
+    ds: Arc<Dataset>,
+    device: Arc<GpuDevice>,
+    gpu_mode: bool,
+    fb: Arc<FeatureBufferManager>,
+    staging: Option<Arc<StagingBuffer>>,
+    topo: Arc<dyn TopoReader>,
+    model: GnnModel,
+    opt: Adam,
+    _fb_home: FeatureBufferHome,
+    _host_charges: Vec<MemCharge>,
+    /// Training set override for data-parallel segments (defaults to the
+    /// dataset's full training set).
+    train_segment: Arc<Vec<NodeId>>,
+}
+
+/// Construction failure: either host OOM (governor) or device OOM.
+#[derive(Debug)]
+pub enum BuildError {
+    HostOom(OomError),
+    DeviceOom(gnndrive_device::DeviceOom),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::HostOom(e) => write!(f, "host {e}"),
+            BuildError::DeviceOom(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl Pipeline {
+    /// Wire a pipeline: charge host memory for the resident topology
+    /// metadata and staging buffer, allocate the feature buffer on the
+    /// device (GPU mode) or host (CPU mode), and memory-map the on-SSD
+    /// index array through `page_cache` for sampling.
+    ///
+    /// `gpu_mode = false` selects the paper's CPU-based training
+    /// architecture (§4.4): feature buffer in host memory, no staging hop,
+    /// compute on the CPU model.
+    pub fn new(
+        ds: Arc<Dataset>,
+        model_kind: ModelKind,
+        hidden: usize,
+        cfg: GnnDriveConfig,
+        device: Arc<GpuDevice>,
+        gpu_mode: bool,
+        governor: Arc<MemoryGovernor>,
+        page_cache: Arc<PageCache>,
+    ) -> Result<Self, BuildError> {
+        let mut host_charges = Vec::new();
+        // Host-resident structures the paper keeps in memory: indptr,
+        // labels, train index.
+        let resident = (ds.indptr.len() * 8 + ds.labels.len() * 4 + ds.train_idx.len() * 4) as u64;
+        host_charges.push(governor.charge(resident).map_err(BuildError::HostOom)?);
+
+        let dim = ds.spec.feat_dim;
+        let slab = Arc::new(FeatureSlab::new(cfg.feature_buffer_slots, dim));
+        let fb_home = if gpu_mode {
+            FeatureBufferHome::Device(
+                device
+                    .memory
+                    .alloc(slab.bytes())
+                    .map_err(BuildError::DeviceOom)?,
+            )
+        } else {
+            FeatureBufferHome::Host(governor.charge(slab.bytes()).map_err(BuildError::HostOom)?)
+        };
+        let fb = Arc::new(FeatureBufferManager::new(
+            Arc::clone(&slab),
+            ds.spec.num_nodes,
+            &cfg,
+        ));
+
+        // GPUDirect mode has no host staging hop at all (§4.4); CPU mode
+        // writes the host feature buffer directly.
+        let staging = if gpu_mode && !cfg.gpu_direct {
+            Some(StagingBuffer::new(cfg.staging_bytes(), &governor).map_err(BuildError::HostOom)?)
+        } else {
+            None
+        };
+
+        let topo: Arc<dyn TopoReader> = Arc::new(MmapTopo::new(
+            Arc::clone(&ds.indptr),
+            page_cache,
+            ds.indices_file,
+        ));
+
+        let model = build_model(
+            model_kind,
+            dim,
+            hidden,
+            ds.spec.num_classes,
+            cfg.fanouts.len(),
+            cfg.seed,
+        );
+        let train_segment = Arc::new(ds.train_idx.as_ref().clone());
+        Ok(Pipeline {
+            cfg,
+            ds,
+            device,
+            gpu_mode,
+            fb,
+            staging,
+            topo,
+            model,
+            opt: Adam::new(0.003),
+            _fb_home: fb_home,
+            _host_charges: host_charges,
+            train_segment,
+        })
+    }
+
+    /// Restrict training to a segment (multi-device data parallelism §4.3).
+    pub fn set_train_segment(&mut self, segment: Vec<NodeId>) {
+        self.train_segment = Arc::new(segment);
+    }
+
+    pub fn feature_buffer(&self) -> &Arc<FeatureBufferManager> {
+        &self.fb
+    }
+
+    pub fn config(&self) -> &GnnDriveConfig {
+        &self.cfg
+    }
+
+    pub fn model_mut(&mut self) -> &mut GnnModel {
+        &mut self.model
+    }
+
+    /// Disk-path inference: sample `seeds`' neighborhoods, extract their
+    /// features through the asynchronous machinery (exactly like training,
+    /// including buffer reuse), and return the predicted class per seed.
+    ///
+    /// This is the deployment-shaped API a downstream user of the library
+    /// calls after training; it exercises the same extract path the paper
+    /// optimizes, so inference inherits the same I/O behaviour.
+    pub fn infer(&mut self, seeds: &[NodeId]) -> Vec<usize> {
+        if seeds.is_empty() {
+            return Vec::new();
+        }
+        let sampler = NeighborSampler::new(Arc::clone(&self.topo), self.cfg.fanouts.clone());
+        let sample = sampler.sample(u64::MAX, seeds, self.cfg.seed ^ 0x17FE);
+        let ctx = ExtractorContext {
+            ssd: Arc::clone(&self.ds.ssd),
+            features_file: self.ds.features_file,
+            feat_dim: self.ds.spec.feat_dim,
+            fb: Arc::clone(&self.fb),
+            staging: self.staging.clone(),
+            transfer: if self.gpu_mode && !self.cfg.gpu_direct {
+                Some(Arc::clone(&self.device.transfer))
+            } else {
+                None
+            },
+            direct_io: self.cfg.direct_io,
+            gpu_direct: self.cfg.gpu_direct,
+            sync_extract: self.cfg.sync_extract,
+            ring_depth: self.cfg.ring_depth,
+            max_joint_read_bytes: self.cfg.max_joint_read_bytes,
+        };
+        let batch = extract_batch(&ctx, sample).expect("inference extraction");
+        let (_r, _c, data) = self.fb.slab().gather(&batch.aliases);
+        let input = Matrix::from_vec(batch.aliases.len(), self.ds.spec.feat_dim, data);
+        let logits = self.model.forward(&batch.sample.blocks, &input);
+        self.fb.release(&batch.sample.input_nodes);
+        gnndrive_tensor::ops::argmax_rows(&logits)
+    }
+
+    /// Run one epoch with an optional per-step hook invoked after each
+    /// optimizer step (the data-parallel gradient synchronizer).
+    pub fn train_epoch_with_sync(
+        &mut self,
+        epoch: u64,
+        max_batches: Option<usize>,
+        mut on_step: impl FnMut(&mut GnnModel) + Send,
+    ) -> EpochReport {
+        let plan = BatchPlan::new(&self.train_segment, self.cfg.batch_size, epoch, self.cfg.seed);
+        let full_batches = plan.num_batches();
+        let batches = full_batches.min(max_batches.unwrap_or(usize::MAX));
+        if batches == 0 {
+            return EpochReport::default();
+        }
+
+        let sampler = Arc::new(NeighborSampler::new(
+            Arc::clone(&self.topo),
+            self.cfg.fanouts.clone(),
+        ));
+        let ctx = Arc::new(ExtractorContext {
+            ssd: Arc::clone(&self.ds.ssd),
+            features_file: self.ds.features_file,
+            feat_dim: self.ds.spec.feat_dim,
+            fb: Arc::clone(&self.fb),
+            staging: self.staging.clone(),
+            transfer: if self.gpu_mode && !self.cfg.gpu_direct {
+                Some(Arc::clone(&self.device.transfer))
+            } else {
+                None
+            },
+            direct_io: self.cfg.direct_io,
+            gpu_direct: self.cfg.gpu_direct,
+            sync_extract: self.cfg.sync_extract,
+            ring_depth: self.cfg.ring_depth,
+            max_joint_read_bytes: self.cfg.max_joint_read_bytes,
+        });
+
+        let (extract_tx, extract_rx) =
+            crossbeam::channel::bounded::<MiniBatchSample>(self.cfg.extract_queue_cap);
+        let (train_tx, train_rx) =
+            crossbeam::channel::bounded::<ExtractedBatch>(self.cfg.train_queue_cap);
+        let (release_tx, release_rx) = crossbeam::channel::bounded::<Vec<NodeId>>(64);
+
+        let cursor = AtomicUsize::new(0);
+        // Per-batch sample-start stamps (nanos since t0) for the latency
+        // histogram; index = batch id.
+        let batch_started: Vec<AtomicU64> = (0..batches).map(|_| AtomicU64::new(0)).collect();
+        let mut latency = gnndrive_telemetry::Histogram::new();
+        let sample_nanos = AtomicU64::new(0);
+        let extract_nanos = AtomicU64::new(0);
+        let loaded_nodes = AtomicU64::new(0);
+        let reused_nodes = AtomicU64::new(0);
+        let failed_batches = AtomicUsize::new(0);
+        let first_error: parking_lot::Mutex<Option<String>> = parking_lot::Mutex::new(None);
+        let mut train_secs = 0.0f64;
+        let mut loss_sum = 0.0f64;
+        let io_before = self.ds.ssd.stats().snapshot();
+        let seed = self.cfg.seed;
+        let reorder = self.cfg.reorder;
+        let labels = Arc::clone(&self.ds.labels);
+        let slab = Arc::clone(self.fb.slab());
+        let feat_dim = self.ds.spec.feat_dim;
+        let model = &mut self.model;
+        let opt = &mut self.opt;
+        let device = Arc::clone(&self.device);
+        let fb_for_release = Arc::clone(&self.fb);
+        let num_samplers = self.cfg.num_samplers.max(1);
+        let num_extractors = self.cfg.num_extractors.max(1);
+        let t0 = Instant::now();
+
+        crossbeam::scope(|s| {
+            // ① Samplers.
+            for w in 0..num_samplers {
+                let plan = &plan;
+                let cursor = &cursor;
+                let sampler = Arc::clone(&sampler);
+                let tx = extract_tx.clone();
+                let sample_nanos = &sample_nanos;
+                let batch_started = &batch_started;
+                s.builder()
+                    .name(format!("sampler-{w}"))
+                    .spawn(move |_| {
+                        telemetry::register_thread(ThreadClass::Cpu);
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= batches {
+                                break;
+                            }
+                            let t = Instant::now();
+                            batch_started[i].store(
+                                t.duration_since(t0).as_nanos() as u64,
+                                Ordering::Relaxed,
+                            );
+                            let sample = {
+                                let _busy = telemetry::state(State::Compute);
+                                sampler.sample(i as u64, plan.batch(i), seed ^ epoch)
+                            };
+                            sample_nanos.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            // ② enqueue into the extracting queue.
+                            if tx.send(sample).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawn sampler");
+            }
+            drop(extract_tx);
+
+            // ③④⑤⑥ Extractors.
+            for w in 0..num_extractors {
+                let rx = extract_rx.clone();
+                let tx = train_tx.clone();
+                let ctx = Arc::clone(&ctx);
+                let extract_nanos = &extract_nanos;
+                let loaded_nodes = &loaded_nodes;
+                let reused_nodes = &reused_nodes;
+                let failed_batches = &failed_batches;
+                let first_error = &first_error;
+                s.builder()
+                    .name(format!("extractor-{w}"))
+                    .spawn(move |_| {
+                        telemetry::register_thread(ThreadClass::Cpu);
+                        while let Ok(sample) = rx.recv() {
+                            let t = Instant::now();
+                            let total = sample.input_nodes.len() as u64;
+                            match extract_batch(&ctx, sample) {
+                                Ok(batch) => {
+                                    extract_nanos.fetch_add(
+                                        t.elapsed().as_nanos() as u64,
+                                        Ordering::Relaxed,
+                                    );
+                                    loaded_nodes
+                                        .fetch_add(batch.loaded_nodes as u64, Ordering::Relaxed);
+                                    reused_nodes.fetch_add(
+                                        total - batch.loaded_nodes as u64,
+                                        Ordering::Relaxed,
+                                    );
+                                    if tx.send(batch).is_err() {
+                                        break;
+                                    }
+                                }
+                                Err(e) => {
+                                    // Record the failure, drop the batch,
+                                    // and keep serving the epoch.
+                                    first_error.lock().get_or_insert_with(|| e.to_string());
+                                    failed_batches.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn extractor");
+            }
+            drop(train_tx);
+
+            // ⑨ Releaser.
+            let releaser = s
+                .builder()
+                .name("releaser".into())
+                .spawn(move |_| {
+                    telemetry::register_thread(ThreadClass::Cpu);
+                    while let Ok(nodes) = release_rx.recv() {
+                        let _busy = telemetry::state(State::Compute);
+                        fb_for_release.release(&nodes);
+                    }
+                })
+                .expect("spawn releaser");
+
+            // ⑦⑧ Trainer (this thread).
+            telemetry::register_thread(ThreadClass::Cpu);
+            let mut pending: BTreeMap<u64, ExtractedBatch> = BTreeMap::new();
+            let mut next_expected = 0u64;
+            let mut done = 0usize;
+            'train: while done + failed_batches.load(Ordering::Relaxed) < batches {
+                // recv with a timeout so extraction failures (which shrink
+                // the expected batch count) cannot strand the trainer.
+                let recv_one = |pending: &mut BTreeMap<u64, ExtractedBatch>| -> Option<ExtractedBatch> {
+                    loop {
+                        match train_rx.recv_timeout(std::time::Duration::from_millis(50)) {
+                            Ok(b) => return Some(b),
+                            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                                if done + failed_batches.load(Ordering::Relaxed)
+                                    + pending.len()
+                                    >= batches
+                                {
+                                    return None;
+                                }
+                            }
+                            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return None,
+                        }
+                    }
+                };
+                let batch = if reorder {
+                    match recv_one(&mut pending) {
+                        Some(b) => b,
+                        None => break 'train,
+                    }
+                } else {
+                    // Restore submission order: buffer out-of-order batches.
+                    // A failed batch id never arrives; skip over it.
+                    loop {
+                        if let Some(b) = pending.remove(&next_expected) {
+                            break b;
+                        }
+                        match recv_one(&mut pending) {
+                            Some(b) => {
+                                if b.sample.batch_id == next_expected {
+                                    break b;
+                                }
+                                pending.insert(b.sample.batch_id, b);
+                            }
+                            None => match pending.pop_first() {
+                                Some((id, b)) => {
+                                    next_expected = id;
+                                    break b;
+                                }
+                                None => break 'train,
+                            },
+                        }
+                    }
+                };
+                next_expected = next_expected.max(batch.sample.batch_id) + 1;
+                let t = Instant::now();
+                let (_r, _c, data) = slab.gather(&batch.aliases);
+                let input = Matrix::from_vec(batch.aliases.len(), feat_dim, data);
+                let y: Vec<usize> = batch
+                    .sample
+                    .seeds
+                    .iter()
+                    .map(|&n| labels[n as usize] as usize)
+                    .collect();
+                let flops = model.flops(&batch.sample.blocks);
+                let result =
+                    device
+                        .compute
+                        .run(flops, || model.train_step(&batch.sample.blocks, &input, &y));
+                // Data-parallel hook: gradient all-reduce happens *before*
+                // the optimizer step so replicas stay in lockstep.
+                on_step(model);
+                let mut params = model.params_mut();
+                opt.step(&mut params);
+                loss_sum += result.loss as f64;
+                train_secs += t.elapsed().as_secs_f64();
+                let started = batch_started[batch.sample.batch_id as usize].load(Ordering::Relaxed);
+                latency.record((t0.elapsed().as_nanos() as u64).saturating_sub(started));
+                // ⑧ hand the original sampled node list to the releaser.
+                release_tx
+                    .send(batch.sample.input_nodes)
+                    .expect("releaser alive");
+                done += 1;
+            }
+            drop(release_tx);
+            releaser.join().expect("releaser");
+        })
+        .expect("pipeline scope");
+
+        let io_after = self.ds.ssd.stats().snapshot();
+        let io = io_after.delta_since(&io_before);
+        EpochReport {
+            wall: t0.elapsed(),
+            batches: batches - failed_batches.load(Ordering::Relaxed),
+            full_batches,
+            loss: (loss_sum / batches.max(1) as f64) as f32,
+            sample_secs: sample_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            extract_secs: extract_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            train_secs,
+            bytes_read: io.read_bytes,
+            nodes_loaded: loaded_nodes.load(Ordering::Relaxed),
+            nodes_reused: reused_nodes.load(Ordering::Relaxed),
+            prep_secs: 0.0,
+            batch_latency: latency,
+            error: first_error.into_inner(),
+        }
+    }
+}
+
+impl TrainingSystem for Pipeline {
+    fn name(&self) -> String {
+        format!(
+            "GNNDrive-{}",
+            if self.gpu_mode { "GPU" } else { "CPU" }
+        )
+    }
+
+    fn train_epoch(&mut self, epoch: u64, max_batches: Option<usize>) -> EpochReport {
+        self.train_epoch_with_sync(epoch, max_batches, |_| {})
+    }
+
+    fn sample_only_epoch(&mut self, epoch: u64, max_batches: Option<usize>) -> Duration {
+        let plan = BatchPlan::new(&self.train_segment, self.cfg.batch_size, epoch, self.cfg.seed);
+        let batches = plan.num_batches().min(max_batches.unwrap_or(usize::MAX));
+        let sampler = Arc::new(NeighborSampler::new(
+            Arc::clone(&self.topo),
+            self.cfg.fanouts.clone(),
+        ));
+        let cursor = AtomicUsize::new(0);
+        let t0 = Instant::now();
+        crossbeam::scope(|s| {
+            for w in 0..self.cfg.num_samplers.max(1) {
+                let plan = &plan;
+                let cursor = &cursor;
+                let sampler = Arc::clone(&sampler);
+                let seed = self.cfg.seed;
+                s.builder()
+                    .name(format!("sampler-only-{w}"))
+                    .spawn(move |_| {
+                        telemetry::register_thread(ThreadClass::Cpu);
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= batches {
+                                break;
+                            }
+                            let _busy = telemetry::state(State::Compute);
+                            let _ = sampler.sample(i as u64, plan.batch(i), seed ^ epoch);
+                        }
+                    })
+                    .expect("spawn sampler");
+            }
+        })
+        .expect("sample-only scope");
+        t0.elapsed()
+    }
+
+    fn evaluate(&mut self) -> f64 {
+        evaluate_model(&self.model, &self.ds, &self.cfg.fanouts, 512)
+    }
+}
+
+/// Mutex-free helper usable by tests to run several epochs back to back.
+pub fn train_epochs(p: &mut Pipeline, epochs: u64, max_batches: Option<usize>) -> Vec<EpochReport> {
+    (0..epochs).map(|e| p.train_epoch(e, max_batches)).collect()
+}
+
+#[allow(dead_code)]
+fn _assert_send(p: Pipeline) -> impl Send {
+    p
+}

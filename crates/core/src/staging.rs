@@ -1,0 +1,146 @@
+//! The bounded host staging buffer (paper §4.2 "Reduced Memory Footprint").
+//!
+//! GNNDrive keeps only a small, strictly bounded region of host memory for
+//! moving feature data from SSD to the device: "The size of staging buffer
+//! is bounded by the number of extractors and the number of features to be
+//! loaded to GPU for each extractor." Extractors acquire byte credits
+//! before issuing loads and return them once the node's host→device
+//! transfer has been handed off, so host memory in the extract stage never
+//! exceeds the configured bound — that bound is charged against the
+//! [`MemoryGovernor`] up front, which is exactly why GNNDrive's sampler
+//! keeps its page-cache room while PyG+'s loses it.
+
+use gnndrive_storage::{MemCharge, MemoryGovernor, OomError};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// Byte-credit pool representing the staging region.
+pub struct StagingBuffer {
+    capacity: u64,
+    available: Mutex<u64>,
+    freed: Condvar,
+    /// Governor charge held for the lifetime of the buffer.
+    _charge: MemCharge,
+}
+
+/// RAII credit lease; returns the bytes on drop.
+pub struct StagingLease {
+    buf: Arc<StagingBuffer>,
+    bytes: u64,
+}
+
+impl StagingBuffer {
+    /// Reserve `capacity` bytes of host memory from `governor`.
+    pub fn new(capacity: u64, governor: &Arc<MemoryGovernor>) -> Result<Arc<Self>, OomError> {
+        let charge = governor.charge(capacity)?;
+        Ok(Arc::new(StagingBuffer {
+            capacity,
+            available: Mutex::new(capacity),
+            freed: Condvar::new(),
+            _charge: charge,
+        }))
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    pub fn available(&self) -> u64 {
+        *self.available.lock()
+    }
+
+    /// Acquire `bytes` of staging room, blocking while the pool is drained.
+    ///
+    /// Requests larger than the whole pool are clamped to the pool size
+    /// (they still serialize the buffer, which is the correct degradation:
+    /// a giant joint read simply occupies the staging region alone).
+    pub fn acquire(self: &Arc<Self>, bytes: u64) -> StagingLease {
+        let want = bytes.min(self.capacity).max(1);
+        let mut avail = self.available.lock();
+        while *avail < want {
+            self.freed.wait(&mut avail);
+        }
+        *avail -= want;
+        StagingLease {
+            buf: Arc::clone(self),
+            bytes: want,
+        }
+    }
+
+    /// Non-blocking acquire; `None` when the pool lacks room.
+    pub fn try_acquire(self: &Arc<Self>, bytes: u64) -> Option<StagingLease> {
+        let want = bytes.min(self.capacity).max(1);
+        let mut avail = self.available.lock();
+        if *avail < want {
+            return None;
+        }
+        *avail -= want;
+        Some(StagingLease {
+            buf: Arc::clone(self),
+            bytes: want,
+        })
+    }
+}
+
+impl StagingLease {
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for StagingLease {
+    fn drop(&mut self) {
+        let mut avail = self.buf.available.lock();
+        *avail += self.bytes;
+        drop(avail);
+        self.buf.freed.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn charges_the_governor_for_its_capacity() {
+        let gov = MemoryGovernor::new(1000);
+        let _s = StagingBuffer::new(600, &gov).unwrap();
+        assert_eq!(gov.used_anonymous(), 600);
+        assert!(StagingBuffer::new(600, &gov).is_err());
+    }
+
+    #[test]
+    fn leases_return_credits_on_drop() {
+        let gov = MemoryGovernor::unlimited();
+        let s = StagingBuffer::new(100, &gov).unwrap();
+        let a = s.acquire(60);
+        assert_eq!(s.available(), 40);
+        assert!(s.try_acquire(50).is_none());
+        drop(a);
+        assert_eq!(s.available(), 100);
+    }
+
+    #[test]
+    fn oversized_requests_are_clamped() {
+        let gov = MemoryGovernor::unlimited();
+        let s = StagingBuffer::new(100, &gov).unwrap();
+        let lease = s.acquire(10_000);
+        assert_eq!(lease.bytes(), 100);
+    }
+
+    #[test]
+    fn blocked_acquire_wakes_when_credits_return() {
+        let gov = MemoryGovernor::unlimited();
+        let s = StagingBuffer::new(100, &gov).unwrap();
+        let lease = s.acquire(100);
+        let s2 = Arc::clone(&s);
+        let waiter = std::thread::spawn(move || {
+            let l = s2.acquire(50);
+            l.bytes()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        drop(lease);
+        assert_eq!(waiter.join().unwrap(), 50);
+    }
+}

@@ -1,0 +1,103 @@
+//! Evaluation metrics.
+
+use gnndrive_tensor::ops::argmax_rows;
+use gnndrive_tensor::Matrix;
+
+/// Top-1 classification accuracy of `logits` against integer `labels`.
+pub fn accuracy(logits: &Matrix, labels: &[usize]) -> f64 {
+    assert_eq!(logits.rows(), labels.len());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let preds = argmax_rows(logits);
+    let correct = preds
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+/// Confusion matrix: `m[true][pred]` counts.
+pub fn confusion_matrix(logits: &Matrix, labels: &[usize], num_classes: usize) -> Vec<Vec<u64>> {
+    assert_eq!(logits.rows(), labels.len());
+    let preds = argmax_rows(logits);
+    let mut m = vec![vec![0u64; num_classes]; num_classes];
+    for (&p, &l) in preds.iter().zip(labels.iter()) {
+        assert!(l < num_classes && p < num_classes);
+        m[l][p] += 1;
+    }
+    m
+}
+
+/// Macro-averaged F1 over classes that appear in `labels` or predictions.
+pub fn macro_f1(logits: &Matrix, labels: &[usize], num_classes: usize) -> f64 {
+    let m = confusion_matrix(logits, labels, num_classes);
+    let mut f1_sum = 0.0;
+    let mut active = 0usize;
+    for c in 0..num_classes {
+        let tp = m[c][c] as f64;
+        let fp: f64 = (0..num_classes).filter(|&t| t != c).map(|t| m[t][c] as f64).sum();
+        let fn_: f64 = (0..num_classes).filter(|&p| p != c).map(|p| m[c][p] as f64).sum();
+        if tp + fp + fn_ == 0.0 {
+            continue; // class absent from both truth and predictions
+        }
+        active += 1;
+        if tp > 0.0 {
+            let precision = tp / (tp + fp);
+            let recall = tp / (tp + fn_);
+            f1_sum += 2.0 * precision * recall / (precision + recall);
+        }
+    }
+    if active == 0 {
+        0.0
+    } else {
+        f1_sum / active as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_and_zero_accuracy() {
+        let mut logits = Matrix::zeros(2, 3);
+        logits.set(0, 1, 5.0);
+        logits.set(1, 2, 5.0);
+        assert_eq!(accuracy(&logits, &[1, 2]), 1.0);
+        assert_eq!(accuracy(&logits, &[0, 0]), 0.0);
+        assert_eq!(accuracy(&logits, &[1, 0]), 0.5);
+    }
+
+    #[test]
+    fn confusion_matrix_counts_cells() {
+        let mut logits = Matrix::zeros(3, 2);
+        logits.set(0, 1, 1.0); // pred 1, true 0
+        logits.set(1, 1, 1.0); // pred 1, true 1
+        logits.set(2, 0, 1.0); // pred 0, true 1
+        let m = confusion_matrix(&logits, &[0, 1, 1], 2);
+        assert_eq!(m[0][1], 1);
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[1][0], 1);
+        assert_eq!(m[0][0], 0);
+    }
+
+    #[test]
+    fn macro_f1_perfect_is_one_and_absent_classes_ignored() {
+        let mut logits = Matrix::zeros(2, 4);
+        logits.set(0, 0, 1.0);
+        logits.set(1, 2, 1.0);
+        let f1 = macro_f1(&logits, &[0, 2], 4);
+        assert!((f1 - 1.0).abs() < 1e-9, "{f1}");
+        // All wrong: zero.
+        let f1 = macro_f1(&logits, &[1, 3], 4);
+        assert_eq!(f1, 0.0);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let logits = Matrix::zeros(0, 3);
+        assert_eq!(accuracy(&logits, &[]), 0.0);
+    }
+}

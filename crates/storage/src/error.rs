@@ -1,0 +1,83 @@
+//! Error types for the storage stack.
+
+use std::fmt;
+
+/// An I/O request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoError {
+    /// Access past the end of a file.
+    OutOfRange {
+        file: u32,
+        offset: u64,
+        len: u64,
+        file_len: u64,
+    },
+    /// A direct-I/O request whose offset or length is not sector-aligned.
+    ///
+    /// The paper (§4.4 "Access Granularity") relies on this constraint: with
+    /// 512 B sectors and float32 features, a single-node read needs a
+    /// dimension of at least 128, otherwise neighboring nodes must be loaded
+    /// jointly.
+    Misaligned { offset: u64, len: u64 },
+    /// The device was shut down while requests were outstanding.
+    DeviceClosed,
+    /// Unknown file handle.
+    NoSuchFile(u32),
+    /// The ring's software submission queue is full; reap completions or
+    /// call `submit` before preparing more entries.
+    RingFull,
+    /// An injected or modeled media failure (uncorrectable read). Carries
+    /// the file and offset for diagnostics.
+    DeviceFault { file: u32, offset: u64 },
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::OutOfRange {
+                file,
+                offset,
+                len,
+                file_len,
+            } => write!(
+                f,
+                "I/O out of range: file {file} offset {offset} len {len} (file len {file_len})"
+            ),
+            IoError::Misaligned { offset, len } => write!(
+                f,
+                "direct I/O requires sector alignment: offset {offset} len {len}"
+            ),
+            IoError::DeviceClosed => write!(f, "storage device closed"),
+            IoError::NoSuchFile(id) => write!(f, "no such file: {id}"),
+            IoError::RingFull => write!(f, "submission queue full"),
+            IoError::DeviceFault { file, offset } => {
+                write!(f, "device fault reading file {file} at offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// Host memory budget exhausted (the paper's OOM outcomes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OomError {
+    /// Bytes the allocation asked for.
+    pub requested: u64,
+    /// Bytes available (after attempting page-cache reclaim).
+    pub available: u64,
+    /// Budget the governor enforces.
+    pub budget: u64,
+}
+
+impl fmt::Display for OomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of memory: requested {} B, available {} B of {} B budget",
+            self.requested, self.available, self.budget
+        )
+    }
+}
+
+impl std::error::Error for OomError {}

@@ -1,0 +1,647 @@
+//! OS page-cache model and memory-mapped file emulation.
+//!
+//! PyG+ (and GNNDrive's own sampler) access on-disk data through `mmap`:
+//! touching a byte faults a 4 KiB page in from the SSD into the OS page
+//! cache, and the cache evicts least-recently-used pages when memory runs
+//! short. Because *all* buffered files share one cache, feature-table pages
+//! evict topology pages — the paper's memory contention (𝔒1).
+//!
+//! We cannot bound the real OS cache from userspace, so [`PageCache`] models
+//! it: a global LRU over 4 KiB pages charged against the [`MemoryGovernor`]
+//! as [`ChargeKind::PageCache`], registered as a [`MemoryReclaimer`] so
+//! anonymous allocations shrink it — exactly Linux's reclaim behaviour.
+//!
+//! Concurrency follows the kernel too: a faulting thread inserts a *pending*
+//! page, drops the lock, reads from the device (real blocking I/O), then
+//! publishes the page; other threads faulting the same page wait on a
+//! condition variable instead of duplicating the read.
+
+use crate::governor::{ChargeKind, MemCharge, MemoryGovernor, MemoryReclaimer};
+use crate::lru::LruList;
+use crate::ssd::{FileHandle, SimSsd};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Page size of the modeled OS (Linux default).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Hit/miss counters for the cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PageCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    /// Reads served uncached because the cache had no room at all.
+    pub bypasses: u64,
+    /// Pages pulled in speculatively by sequential readahead.
+    pub readaheads: u64,
+    /// Current number of resident pages.
+    pub resident_pages: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PageState {
+    /// A fault is in flight; waiters sleep on the condvar.
+    Pending,
+    /// Data is resident and valid.
+    Ready,
+}
+
+struct PageSlot {
+    key: (u32, u64),
+    state: PageState,
+    data: Box<[u8]>,
+    charge: Option<MemCharge>,
+}
+
+struct Inner {
+    map: HashMap<(u32, u64), u32>,
+    slots: Vec<Option<PageSlot>>,
+    free: Vec<u32>,
+    lru: LruList,
+}
+
+/// A bounded, shared, LRU page cache over one [`SimSsd`].
+pub struct PageCache {
+    ssd: Arc<SimSsd>,
+    gov: Arc<MemoryGovernor>,
+    /// Hard cap on resident pages, independent of the governor (models
+    /// `vm` limits); usually `usize::MAX` so the governor is the bound.
+    max_pages: usize,
+    inner: Mutex<Inner>,
+    ready_cond: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    bypasses: AtomicU64,
+    readaheads: AtomicU64,
+    /// Readahead window in pages (0 disables). Like the kernel, sequential
+    /// miss patterns trigger one larger device read covering the window.
+    readahead_pages: std::sync::atomic::AtomicUsize,
+    /// Per-file last-miss page number for sequential-pattern detection.
+    last_miss: Mutex<std::collections::HashMap<u32, u64>>,
+}
+
+impl PageCache {
+    /// Create a cache over `ssd` charging pages to `gov`.
+    pub fn new(ssd: Arc<SimSsd>, gov: Arc<MemoryGovernor>) -> Arc<Self> {
+        Self::with_max_pages(ssd, gov, usize::MAX)
+    }
+
+    /// Like [`PageCache::new`] with an explicit resident-page cap.
+    pub fn with_max_pages(
+        ssd: Arc<SimSsd>,
+        gov: Arc<MemoryGovernor>,
+        max_pages: usize,
+    ) -> Arc<Self> {
+        let cache = Arc::new(PageCache {
+            ssd,
+            gov: Arc::clone(&gov),
+            max_pages,
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                slots: Vec::new(),
+                free: Vec::new(),
+                lru: LruList::new(0),
+            }),
+            ready_cond: Condvar::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            bypasses: AtomicU64::new(0),
+            readaheads: AtomicU64::new(0),
+            readahead_pages: std::sync::atomic::AtomicUsize::new(4),
+            last_miss: Mutex::new(std::collections::HashMap::new()),
+        });
+        let as_reclaimer: Arc<dyn MemoryReclaimer> = cache.clone();
+        gov.register_reclaimer(&as_reclaimer);
+        cache
+    }
+
+    /// Set the sequential readahead window (pages; 0 disables).
+    pub fn set_readahead(&self, pages: usize) {
+        self.readahead_pages.store(pages, Ordering::Relaxed);
+    }
+
+    pub fn stats(&self) -> PageCacheStats {
+        let inner = self.inner.lock();
+        PageCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            bypasses: self.bypasses.load(Ordering::Relaxed),
+            readaheads: self.readaheads.load(Ordering::Relaxed),
+            resident_pages: inner.map.len() as u64,
+        }
+    }
+
+    /// Drop every resident page (e.g. `echo 3 > drop_caches` between runs).
+    pub fn drop_all(&self) {
+        let mut inner = self.inner.lock();
+        let slots: Vec<u32> = inner.map.values().copied().collect();
+        for s in slots {
+            if matches!(
+                inner.slots[s as usize].as_ref().map(|p| p.state),
+                Some(PageState::Ready)
+            ) {
+                Self::evict_slot(&mut inner, s);
+            }
+        }
+    }
+
+    /// Buffered read: copy `out.len()` bytes at `offset` of `file`,
+    /// faulting pages through the cache as needed.
+    pub fn read(&self, file: FileHandle, offset: u64, out: &mut [u8]) {
+        let mut done = 0usize;
+        while done < out.len() {
+            let pos = offset + done as u64;
+            let page_no = pos / PAGE_SIZE as u64;
+            let in_page = (pos % PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - in_page).min(out.len() - done);
+            self.with_page(file, page_no, |page| {
+                out[done..done + n].copy_from_slice(&page[in_page..in_page + n]);
+            });
+            done += n;
+        }
+    }
+
+    /// Whether the page containing `offset` is currently resident (ready).
+    pub fn is_resident(&self, file: FileHandle, offset: u64) -> bool {
+        let inner = self.inner.lock();
+        inner
+            .map
+            .get(&(file.id, offset / PAGE_SIZE as u64))
+            .map(|&s| {
+                matches!(
+                    inner.slots[s as usize].as_ref().map(|p| p.state),
+                    Some(PageState::Ready)
+                )
+            })
+            .unwrap_or(false)
+    }
+
+    /// Run `f` over the (ready) page `page_no` of `file`, faulting it in if
+    /// necessary. Falls back to an uncached device read when the cache
+    /// cannot hold even one more page.
+    fn with_page(&self, file: FileHandle, page_no: u64, f: impl FnOnce(&[u8])) {
+        let key = (file.id, page_no);
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(&slot) = inner.map.get(&key) {
+                let state = inner.slots[slot as usize].as_ref().unwrap().state;
+                match state {
+                    PageState::Ready => {
+                        inner.lru.touch(slot);
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        let page = inner.slots[slot as usize].as_ref().unwrap();
+                        f(&page.data);
+                        return;
+                    }
+                    PageState::Pending => {
+                        // Another thread is faulting this page; wait for it.
+                        self.ready_cond.wait(&mut inner);
+                        continue;
+                    }
+                }
+            }
+            // Miss: find a slot (evict if needed), insert Pending, drop the
+            // lock, do the device read, publish.
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let slot = match self.acquire_slot(&mut inner, key) {
+                Some(s) => s,
+                None => {
+                    // No room at all: uncached read-through.
+                    self.bypasses.fetch_add(1, Ordering::Relaxed);
+                    drop(inner);
+                    let data = self.read_page_from_device(file, page_no);
+                    f(&data);
+                    return;
+                }
+            };
+            let sequential = {
+                let mut lm = self.last_miss.lock();
+                let seq = lm.get(&file.id).is_some_and(|&p| p + 1 == page_no);
+                lm.insert(file.id, page_no);
+                seq
+            };
+            drop(inner);
+            let data = self.read_page_from_device(file, page_no);
+            inner = self.inner.lock();
+            {
+                let page = inner.slots[slot as usize].as_mut().unwrap();
+                page.data.copy_from_slice(&data);
+                page.state = PageState::Ready;
+            }
+            inner.lru.push_back(slot);
+            self.ready_cond.notify_all();
+            // Sequential pattern: pull the readahead window in too (one
+            // larger device transfer amortizes the per-request latency —
+            // why buffered sequential I/O beats direct at low queue depth).
+            let ra = self.readahead_pages.load(Ordering::Relaxed);
+            if sequential && ra > 0 {
+                inner = self.readahead(inner, file, page_no + 1, ra);
+            }
+            // Loop around: the Ready branch will serve it (and count a hit —
+            // compensate by not double counting).
+            self.hits.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Speculatively fault in up to `readahead_pages` pages starting at
+    /// `start`, using a single device read. Pages that are already resident
+    /// or don't fit the budget are skipped. Takes and returns the inner
+    /// lock guard so the caller keeps its critical section.
+    fn readahead<'a>(
+        &'a self,
+        mut inner: parking_lot::MutexGuard<'a, Inner>,
+        file: FileHandle,
+        start: u64,
+        window: usize,
+    ) -> parking_lot::MutexGuard<'a, Inner> {
+        let max_page = file.len.div_ceil(PAGE_SIZE as u64);
+        let end = (start + window as u64).min(max_page);
+        if start >= end {
+            return inner;
+        }
+        // Reserve slots for the not-yet-resident pages of the window.
+        let mut slots = Vec::new();
+        for p in start..end {
+            if inner.map.contains_key(&(file.id, p)) {
+                break; // stop at the first resident page
+            }
+            match self.acquire_slot(&mut inner, (file.id, p)) {
+                Some(s) => slots.push((p, s)),
+                None => break,
+            }
+        }
+        if slots.is_empty() {
+            return inner;
+        }
+        drop(inner);
+        // One contiguous device read covering the window.
+        let first = slots[0].0;
+        let n_pages = slots.len();
+        let mut buf = vec![0u8; n_pages * PAGE_SIZE];
+        let offset = first * PAGE_SIZE as u64;
+        let valid = (file.len.saturating_sub(offset) as usize).min(buf.len());
+        if valid > 0 {
+            self.ssd
+                .read_blocking(file, offset, &mut buf[..valid], false)
+                .expect("readahead in range");
+        }
+        let mut inner = self.inner.lock();
+        for (i, &(_, slot)) in slots.iter().enumerate() {
+            let page = inner.slots[slot as usize].as_mut().unwrap();
+            page.data
+                .copy_from_slice(&buf[i * PAGE_SIZE..(i + 1) * PAGE_SIZE]);
+            page.state = PageState::Ready;
+            inner.lru.push_back(slot);
+        }
+        self.readaheads
+            .fetch_add(slots.len() as u64, Ordering::Relaxed);
+        self.ready_cond.notify_all();
+        inner
+    }
+
+    fn read_page_from_device(&self, file: FileHandle, page_no: u64) -> Box<[u8]> {
+        let mut buf = vec![0u8; PAGE_SIZE].into_boxed_slice();
+        let offset = page_no * PAGE_SIZE as u64;
+        // Tail pages may be shorter than PAGE_SIZE.
+        let n = (PAGE_SIZE as u64).min(file.len.saturating_sub(offset)) as usize;
+        if n > 0 {
+            self.ssd
+                .read_blocking(file, offset, &mut buf[..n], false)
+                .expect("page read in range");
+        }
+        buf
+    }
+
+    /// Grab a free slot, evicting the LRU page if necessary; insert a
+    /// Pending entry for `key`. Returns `None` when no page can be held.
+    fn acquire_slot(&self, inner: &mut Inner, key: (u32, u64)) -> Option<u32> {
+        let charge = loop {
+            if inner.map.len() >= self.max_pages {
+                if !Self::evict_lru(inner, &self.evictions) {
+                    return None;
+                }
+                continue;
+            }
+            match self.gov.try_charge(PAGE_SIZE as u64, ChargeKind::PageCache) {
+                Some(c) => break c,
+                None => {
+                    if !Self::evict_lru(inner, &self.evictions) {
+                        return None;
+                    }
+                }
+            }
+        };
+        let slot = match inner.free.pop() {
+            Some(s) => {
+                inner.slots[s as usize] = Some(PageSlot {
+                    key,
+                    state: PageState::Pending,
+                    data: vec![0u8; PAGE_SIZE].into_boxed_slice(),
+                    charge: Some(charge),
+                });
+                s
+            }
+            None => {
+                let s = inner.slots.len() as u32;
+                inner.slots.push(Some(PageSlot {
+                    key,
+                    state: PageState::Pending,
+                    data: vec![0u8; PAGE_SIZE].into_boxed_slice(),
+                    charge: Some(charge),
+                }));
+                inner.lru.ensure_capacity(inner.slots.len());
+                s
+            }
+        };
+        inner.map.insert(key, slot);
+        Some(slot)
+    }
+
+    fn evict_lru(inner: &mut Inner, evictions: &AtomicU64) -> bool {
+        // Pending pages are never in the LRU list, so anything popped is
+        // safe to drop.
+        match inner.lru.pop_front() {
+            Some(slot) => {
+                let page = inner.slots[slot as usize].take().expect("slot occupied");
+                inner.map.remove(&page.key);
+                inner.free.push(slot);
+                drop(page.charge);
+                evictions.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn evict_slot(inner: &mut Inner, slot: u32) {
+        if inner.lru.remove(slot) {
+            let page = inner.slots[slot as usize].take().expect("slot occupied");
+            inner.map.remove(&page.key);
+            inner.free.push(slot);
+        }
+    }
+}
+
+impl MemoryReclaimer for PageCache {
+    fn reclaim(&self, want: u64) -> u64 {
+        let mut inner = self.inner.lock();
+        let mut freed = 0u64;
+        while freed < want {
+            if !Self::evict_lru(&mut inner, &self.evictions) {
+                break;
+            }
+            freed += PAGE_SIZE as u64;
+        }
+        freed
+    }
+}
+
+/// Something readable as little-endian fixed-size scalars out of a page or
+/// byte buffer (the subset of "plain old data" this repo needs).
+pub trait Pod: Copy + Default {
+    const SIZE: usize;
+    fn from_le(bytes: &[u8]) -> Self;
+    fn to_le(self, out: &mut [u8]);
+}
+
+macro_rules! impl_pod {
+    ($t:ty) => {
+        impl Pod for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+            fn from_le(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes.try_into().expect("pod size"))
+            }
+            fn to_le(self, out: &mut [u8]) {
+                out.copy_from_slice(&self.to_le_bytes());
+            }
+        }
+    };
+}
+
+impl_pod!(u32);
+impl_pod!(u64);
+impl_pod!(i64);
+impl_pod!(f32);
+
+impl Pod for u8 {
+    const SIZE: usize = 1;
+    fn from_le(bytes: &[u8]) -> Self {
+        bytes[0]
+    }
+    fn to_le(self, out: &mut [u8]) {
+        out[0] = self;
+    }
+}
+
+/// Emulated `mmap` of an on-SSD array of `T`: element accesses fault 4 KiB
+/// pages through the shared [`PageCache`], exactly like PyG+'s
+/// memory-mapped tensors.
+pub struct MmapArray<T: Pod> {
+    cache: Arc<PageCache>,
+    file: FileHandle,
+    len: usize,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Pod> MmapArray<T> {
+    /// Map `file` (length must be a multiple of `T::SIZE`) through `cache`.
+    pub fn new(cache: Arc<PageCache>, file: FileHandle) -> Self {
+        assert_eq!(
+            file.len % T::SIZE as u64,
+            0,
+            "file length must be a multiple of element size"
+        );
+        let len = (file.len / T::SIZE as u64) as usize;
+        MmapArray {
+            cache,
+            file,
+            len,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read element `idx` (faulting its page if non-resident).
+    pub fn get(&self, idx: usize) -> T {
+        assert!(idx < self.len, "index {idx} out of bounds {}", self.len);
+        let mut buf = [0u8; 16];
+        let bytes = &mut buf[..T::SIZE];
+        self.cache
+            .read(self.file, (idx * T::SIZE) as u64, bytes);
+        T::from_le(bytes)
+    }
+
+    /// Read `out.len()` elements starting at `start`.
+    pub fn read_slice(&self, start: usize, out: &mut [T]) {
+        assert!(start + out.len() <= self.len, "slice out of bounds");
+        let mut bytes = vec![0u8; out.len() * T::SIZE];
+        self.cache.read(self.file, (start * T::SIZE) as u64, &mut bytes);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = T::from_le(&bytes[i * T::SIZE..(i + 1) * T::SIZE]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ssd::SsdProfile;
+
+    fn setup(budget_pages: usize, file_pages: usize) -> (Arc<PageCache>, FileHandle, Arc<MemoryGovernor>) {
+        let ssd = SimSsd::new(SsdProfile::instant());
+        let f = ssd.create_file((file_pages * PAGE_SIZE) as u64);
+        for p in 0..file_pages {
+            let data = vec![(p % 251) as u8; PAGE_SIZE];
+            ssd.import(f, (p * PAGE_SIZE) as u64, &data).unwrap();
+        }
+        let gov = MemoryGovernor::new((budget_pages * PAGE_SIZE) as u64);
+        let cache = PageCache::new(ssd, Arc::clone(&gov));
+        (cache, f, gov)
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let (cache, f, _gov) = setup(16, 4);
+        let mut buf = [0u8; 8];
+        cache.read(f, 0, &mut buf);
+        assert_eq!(buf, [0u8; 8]);
+        let s1 = cache.stats();
+        assert_eq!(s1.misses, 1);
+        cache.read(f, 100, &mut buf);
+        let s2 = cache.stats();
+        assert_eq!(s2.misses, 1);
+        assert_eq!(s2.hits, s1.hits + 1);
+    }
+
+    #[test]
+    fn read_spanning_pages() {
+        let (cache, f, _gov) = setup(16, 4);
+        let mut buf = vec![0u8; PAGE_SIZE + 100];
+        cache.read(f, (PAGE_SIZE - 50) as u64, &mut buf);
+        assert_eq!(buf[0], 0); // page 0 content
+        assert_eq!(buf[50], 1); // page 1 content
+        assert_eq!(buf[PAGE_SIZE + 49], 1);
+        assert_eq!(buf[PAGE_SIZE + 50], 2); // page 2 content
+    }
+
+    #[test]
+    fn lru_eviction_under_budget() {
+        let (cache, f, gov) = setup(2, 4);
+        cache.set_readahead(0);
+        let mut b = [0u8; 1];
+        cache.read(f, 0, &mut b);
+        cache.read(f, PAGE_SIZE as u64, &mut b);
+        assert!(cache.is_resident(f, 0));
+        cache.read(f, 2 * PAGE_SIZE as u64, &mut b); // evicts page 0
+        assert!(!cache.is_resident(f, 0));
+        assert!(cache.is_resident(f, PAGE_SIZE as u64));
+        assert!(gov.used_page_cache() <= 2 * PAGE_SIZE as u64);
+        assert!(cache.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn anonymous_pressure_shrinks_cache() {
+        let (cache, f, gov) = setup(4, 4);
+        let mut b = [0u8; 1];
+        for p in 0..4u64 {
+            cache.read(f, p * PAGE_SIZE as u64, &mut b);
+        }
+        assert_eq!(cache.stats().resident_pages, 4);
+        // Anonymous charge forces reclaim of cached pages.
+        let _c = gov.charge(2 * PAGE_SIZE as u64).expect("reclaim makes room");
+        assert!(cache.stats().resident_pages <= 2);
+    }
+
+    #[test]
+    fn zero_budget_reads_still_work_via_bypass() {
+        let (cache, f, _gov) = setup(0, 2);
+        let mut buf = [0u8; 4];
+        cache.read(f, PAGE_SIZE as u64, &mut buf);
+        assert_eq!(buf, [1u8; 4]);
+        assert!(cache.stats().bypasses >= 1);
+        assert_eq!(cache.stats().resident_pages, 0);
+    }
+
+    #[test]
+    fn sequential_misses_trigger_readahead() {
+        let (cache, f, _gov) = setup(16, 8);
+        let mut b = [0u8; 1];
+        cache.read(f, 0, &mut b); // miss, not sequential yet
+        cache.read(f, PAGE_SIZE as u64, &mut b); // sequential miss
+        let s = cache.stats();
+        assert!(s.readaheads >= 1, "readahead should fire: {s:?}");
+        // The window is now resident: the next pages are hits.
+        assert!(cache.is_resident(f, 2 * PAGE_SIZE as u64));
+        let before = cache.stats().misses;
+        cache.read(f, 2 * PAGE_SIZE as u64, &mut b);
+        assert_eq!(cache.stats().misses, before, "readahead page must hit");
+        // Data correctness of a readahead page.
+        let mut buf = [0u8; 4];
+        cache.read(f, 3 * PAGE_SIZE as u64, &mut buf);
+        assert_eq!(buf, [3u8; 4]);
+    }
+
+    #[test]
+    fn random_pattern_does_not_readahead() {
+        let (cache, f, _gov) = setup(16, 8);
+        let mut b = [0u8; 1];
+        cache.read(f, 5 * PAGE_SIZE as u64, &mut b);
+        cache.read(f, 2 * PAGE_SIZE as u64, &mut b);
+        cache.read(f, 7 * PAGE_SIZE as u64, &mut b);
+        assert_eq!(cache.stats().readaheads, 0);
+    }
+
+    #[test]
+    fn mmap_array_typed_access() {
+        let ssd = SimSsd::new(SsdProfile::instant());
+        let n = 3000usize;
+        let f = ssd.create_file((n * 4) as u64);
+        let mut bytes = vec![0u8; n * 4];
+        for i in 0..n {
+            bytes[i * 4..(i + 1) * 4].copy_from_slice(&(i as u32).to_le_bytes());
+        }
+        ssd.import(f, 0, &bytes).unwrap();
+        let gov = MemoryGovernor::unlimited();
+        let cache = PageCache::new(ssd, gov);
+        let arr: MmapArray<u32> = MmapArray::new(cache, f);
+        assert_eq!(arr.len(), n);
+        assert_eq!(arr.get(0), 0);
+        assert_eq!(arr.get(1500), 1500);
+        assert_eq!(arr.get(n - 1), (n - 1) as u32);
+        let mut out = vec![0u32; 10];
+        arr.read_slice(1020, &mut out); // spans a page boundary
+        assert_eq!(out, (1020u32..1030).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_faults_single_read() {
+        let (cache, f, _gov) = setup(16, 1);
+        let cache2 = Arc::clone(&cache);
+        crossbeam::scope(|s| {
+            for _ in 0..4 {
+                let c = Arc::clone(&cache2);
+                s.spawn(move |_| {
+                    let mut b = [0u8; 1];
+                    c.read(f, 10, &mut b);
+                    assert_eq!(b[0], 0);
+                });
+            }
+        })
+        .unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.resident_pages, 1);
+    }
+}

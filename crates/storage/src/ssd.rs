@@ -1,0 +1,646 @@
+//! The simulated solid-state drive.
+//!
+//! This is the substitute for the paper testbed's SATA SSD (see DESIGN.md
+//! §1). The device holds a real in-heap disk image and services requests
+//! with `channels` worker threads. Timing follows a service model:
+//!
+//! * every request pays a per-operation **base latency** (flash read/program
+//!   time + controller overhead),
+//! * all requests share an aggregate **bandwidth** budget enforced by a
+//!   global reservation cursor (the SATA link),
+//! * at most `queue_depth` requests may be queued at the device (NCQ), and
+//!   at most `channels` are in service concurrently (internal parallelism).
+//!
+//! Device workers track a per-channel virtual completion deadline and sleep
+//! whenever they run more than `sleep_granularity` ahead of wall time, so
+//! aggregate throughput and caller blocking times follow the model while
+//! individual sleep syscall overhead stays amortized. Data movement is real:
+//! reads copy bytes out of the image into the request buffer.
+
+use crate::error::IoError;
+use crate::stats::IoStats;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use gnndrive_telemetry as telemetry;
+use parking_lot::{Mutex, RwLock};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Legacy disk sector size; direct I/O must be aligned to this (paper §4.4).
+pub const SECTOR_SIZE: u64 = 512;
+
+/// Timing and shape parameters of a simulated device.
+#[derive(Debug, Clone)]
+pub struct SsdProfile {
+    pub name: &'static str,
+    /// Base service latency of a read request.
+    pub read_latency: Duration,
+    /// Base service latency of a write request.
+    pub write_latency: Duration,
+    /// Aggregate device bandwidth in bytes/second.
+    pub bandwidth: u64,
+    /// Number of parallel internal service units (≈ NCQ effective depth).
+    pub channels: usize,
+    /// Capacity of the device submission queue; submitting beyond it stalls.
+    pub queue_depth: usize,
+    /// Workers may run at most this far ahead of wall time before sleeping.
+    pub sleep_granularity: Duration,
+}
+
+impl SsdProfile {
+    /// SAMSUNG PM883-like SATA SSD (the paper's main testbed device).
+    pub fn pm883() -> Self {
+        SsdProfile {
+            name: "pm883",
+            read_latency: Duration::from_micros(85),
+            write_latency: Duration::from_micros(70),
+            bandwidth: 520 * 1024 * 1024,
+            channels: 16,
+            queue_depth: 64,
+            sleep_granularity: Duration::from_micros(400),
+        }
+    }
+
+    /// Intel DC S3510-like SATA SSD (the paper's multi-GPU machine device,
+    /// an older and slower drive).
+    pub fn s3510() -> Self {
+        SsdProfile {
+            name: "s3510",
+            read_latency: Duration::from_micros(110),
+            write_latency: Duration::from_micros(95),
+            bandwidth: 420 * 1024 * 1024,
+            channels: 12,
+            queue_depth: 64,
+            sleep_granularity: Duration::from_micros(400),
+        }
+    }
+
+    /// The pm883 slowed ~4× for experiment runs: the datasets are scaled
+    /// ÷1000 but mini-batch neighborhoods only shrink ~÷30 (fanout
+    /// expansion is scale-invariant), so a proportionally slower device
+    /// keeps the paper's extract-dominates-epoch shape. See DESIGN.md.
+    pub fn pm883_repro() -> Self {
+        SsdProfile {
+            name: "pm883-repro",
+            read_latency: Duration::from_micros(340),
+            write_latency: Duration::from_micros(280),
+            bandwidth: 130 * 1024 * 1024,
+            channels: 16,
+            queue_depth: 64,
+            sleep_granularity: Duration::from_micros(500),
+        }
+    }
+
+    /// The s3510 slowed ~4× (multi-GPU machine experiments).
+    pub fn s3510_repro() -> Self {
+        SsdProfile {
+            name: "s3510-repro",
+            read_latency: Duration::from_micros(440),
+            write_latency: Duration::from_micros(380),
+            bandwidth: 105 * 1024 * 1024,
+            channels: 12,
+            queue_depth: 64,
+            sleep_granularity: Duration::from_micros(500),
+        }
+    }
+
+    /// Zero-latency device for unit tests: data movement without timing.
+    pub fn instant() -> Self {
+        SsdProfile {
+            name: "instant",
+            read_latency: Duration::ZERO,
+            write_latency: Duration::ZERO,
+            bandwidth: u64::MAX / 4,
+            channels: 2,
+            queue_depth: 1024,
+            sleep_granularity: Duration::ZERO,
+        }
+    }
+
+    /// A uniformly time-scaled copy (for fast CI-sized experiments):
+    /// latencies divided by `factor`, bandwidth multiplied by it.
+    pub fn scaled_down(mut self, factor: u32) -> Self {
+        self.read_latency /= factor;
+        self.write_latency /= factor;
+        self.bandwidth = self.bandwidth.saturating_mul(factor as u64);
+        self
+    }
+}
+
+/// Handle to a file (extent) on the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FileHandle {
+    pub id: u32,
+    pub len: u64,
+}
+
+/// Operation direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoOp {
+    Read,
+    Write,
+}
+
+/// A completed request, delivered on the submitter's completion channel.
+#[derive(Debug)]
+pub struct Completion {
+    /// Caller-chosen tag, as in io_uring's `user_data`.
+    pub user_data: u64,
+    /// For reads, the buffer now filled with data; for writes, the buffer
+    /// handed back. `Err` only for device shutdown races — validation errors
+    /// are reported synchronously at submission.
+    pub result: Result<Vec<u8>, IoError>,
+    /// Modeled request latency (submission to completion deadline).
+    pub latency: Duration,
+}
+
+pub(crate) struct Request {
+    pub file: u32,
+    pub offset: u64,
+    pub op: IoOp,
+    pub buf: Vec<u8>,
+    pub user_data: u64,
+    pub reply: Sender<Completion>,
+    pub submitted: Instant,
+}
+
+struct FileMeta {
+    base: u64,
+    len: u64,
+}
+
+struct Shared {
+    profile: SsdProfile,
+    image: RwLock<Vec<u8>>,
+    files: Mutex<Vec<FileMeta>>,
+    stats: IoStats,
+    /// Global bandwidth reservation cursor: the instant the device link is
+    /// next free. Reserving `b` bytes advances it by `b / bandwidth`.
+    bw_cursor: Mutex<Instant>,
+    /// Fault injection: fail every Nth read (0 = disabled). Deterministic,
+    /// so failure-path tests are reproducible.
+    fault_every: std::sync::atomic::AtomicU64,
+    /// Restrict injected faults to one file id (u32::MAX = any file).
+    fault_file: std::sync::atomic::AtomicU32,
+    read_counter: std::sync::atomic::AtomicU64,
+}
+
+/// The simulated SSD. See module docs for the timing model.
+pub struct SimSsd {
+    tx: Option<Sender<Request>>,
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl SimSsd {
+    /// Bring up a device with the given profile.
+    pub fn new(profile: SsdProfile) -> Arc<Self> {
+        let (tx, rx) = bounded::<Request>(profile.queue_depth);
+        let shared = Arc::new(Shared {
+            profile: profile.clone(),
+            image: RwLock::new(Vec::new()),
+            files: Mutex::new(Vec::new()),
+            stats: IoStats::default(),
+            bw_cursor: Mutex::new(Instant::now()),
+            fault_every: std::sync::atomic::AtomicU64::new(0),
+            fault_file: std::sync::atomic::AtomicU32::new(u32::MAX),
+            read_counter: std::sync::atomic::AtomicU64::new(0),
+        });
+        let mut workers = Vec::with_capacity(profile.channels);
+        for i in 0..profile.channels {
+            let rx: Receiver<Request> = rx.clone();
+            let sh = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("simssd-{}-{}", profile.name, i))
+                    .spawn(move || channel_worker(sh, rx))
+                    .expect("spawn ssd worker"),
+            );
+        }
+        Arc::new(SimSsd {
+            tx: Some(tx),
+            shared,
+            workers: Mutex::new(workers),
+        })
+    }
+
+    pub fn profile(&self) -> &SsdProfile {
+        &self.shared.profile
+    }
+
+    pub fn stats(&self) -> &IoStats {
+        &self.shared.stats
+    }
+
+    /// Fault injection: make every `n`-th read fail with
+    /// [`IoError::DeviceFault`] (0 disables). Used by failure-path tests.
+    pub fn inject_read_faults(&self, n: u64) {
+        self.shared
+            .fault_file
+            .store(u32::MAX, std::sync::atomic::Ordering::Relaxed);
+        self.shared
+            .fault_every
+            .store(n, std::sync::atomic::Ordering::Relaxed);
+        self.shared
+            .read_counter
+            .store(0, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Like [`SimSsd::inject_read_faults`] but only reads of `file` fail —
+    /// lets tests break the feature table while topology stays healthy.
+    pub fn inject_read_faults_on(&self, file: FileHandle, n: u64) {
+        self.shared
+            .fault_file
+            .store(file.id, std::sync::atomic::Ordering::Relaxed);
+        self.shared
+            .fault_every
+            .store(n, std::sync::atomic::Ordering::Relaxed);
+        self.shared
+            .read_counter
+            .store(0, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Allocate a zero-filled file of `len` bytes on the device.
+    pub fn create_file(&self, len: u64) -> FileHandle {
+        let mut files = self.shared.files.lock();
+        let mut image = self.shared.image.write();
+        let base = image.len() as u64;
+        image.resize((base + len) as usize, 0);
+        let id = files.len() as u32;
+        files.push(FileMeta { base, len });
+        FileHandle { id, len }
+    }
+
+    /// Instantly place `data` at `offset` of `file`, bypassing the timing
+    /// model. This stands in for preparing the dataset on disk before the
+    /// experiment starts (the paper does not count dataset installation).
+    pub fn import(&self, file: FileHandle, offset: u64, data: &[u8]) -> Result<(), IoError> {
+        let base = self.locate(file.id, offset, data.len() as u64)?;
+        let mut image = self.shared.image.write();
+        image[base as usize..base as usize + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Instantly read without the timing model (verification/debug only).
+    pub fn peek(&self, file: FileHandle, offset: u64, out: &mut [u8]) -> Result<(), IoError> {
+        let base = self.locate(file.id, offset, out.len() as u64)?;
+        let image = self.shared.image.read();
+        out.copy_from_slice(&image[base as usize..base as usize + out.len()]);
+        Ok(())
+    }
+
+    /// Translate (file, offset, len) to an image offset, validating range.
+    fn locate(&self, file: u32, offset: u64, len: u64) -> Result<u64, IoError> {
+        let files = self.shared.files.lock();
+        let meta = files.get(file as usize).ok_or(IoError::NoSuchFile(file))?;
+        if offset + len > meta.len {
+            return Err(IoError::OutOfRange {
+                file,
+                offset,
+                len,
+                file_len: meta.len,
+            });
+        }
+        Ok(meta.base + offset)
+    }
+
+    /// Validate a prospective request; shared by sync and ring paths.
+    pub(crate) fn validate(
+        &self,
+        file: u32,
+        offset: u64,
+        len: u64,
+        direct: bool,
+    ) -> Result<(), IoError> {
+        if direct && (offset % SECTOR_SIZE != 0 || len % SECTOR_SIZE != 0) {
+            return Err(IoError::Misaligned { offset, len });
+        }
+        self.locate(file, offset, len).map(|_| ())
+    }
+
+    fn sender(&self) -> &Sender<Request> {
+        self.tx.as_ref().expect("device not shut down")
+    }
+
+    /// Submit without blocking; gives the request back if the device queue
+    /// is full (the ring keeps it in its software SQ).
+    pub(crate) fn try_submit(&self, req: Request) -> Result<(), Request> {
+        match self.sender().try_send(req) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(r)) => {
+                self.shared
+                    .stats
+                    .queue_full_stalls
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Err(r)
+            }
+            Err(TrySendError::Disconnected(_)) => panic!("ssd workers gone"),
+        }
+    }
+
+    /// Submit, stalling (in I/O-wait) if the device queue is full.
+    pub(crate) fn submit_blocking(&self, req: Request) {
+        let req = match self.try_submit(req) {
+            Ok(()) => return,
+            Err(r) => r,
+        };
+        let _io = telemetry::state(telemetry::State::IoWait);
+        self.sender().send(req).expect("ssd workers gone");
+    }
+
+    /// Synchronous read: submit one request and block until it completes.
+    ///
+    /// The blocking time is real (the paper's synchronous-I/O baseline
+    /// behaviour) and is attributed to I/O wait.
+    pub fn read_blocking(
+        &self,
+        file: FileHandle,
+        offset: u64,
+        out: &mut [u8],
+        direct: bool,
+    ) -> Result<(), IoError> {
+        if out.is_empty() {
+            return Ok(());
+        }
+        self.validate(file.id, offset, out.len() as u64, direct)?;
+        let (reply, done) = bounded(1);
+        let started = Instant::now();
+        self.submit_blocking(Request {
+            file: file.id,
+            offset,
+            op: IoOp::Read,
+            buf: vec![0u8; out.len()],
+            user_data: 0,
+            reply,
+            submitted: started,
+        });
+        let completion = {
+            let _io = telemetry::state(telemetry::State::IoWait);
+            done.recv().map_err(|_| IoError::DeviceClosed)?
+        };
+        self.shared
+            .stats
+            .add_io_wait(started.elapsed().as_nanos() as u64);
+        let buf = completion.result?;
+        out.copy_from_slice(&buf);
+        Ok(())
+    }
+
+    /// Synchronous write: block until the device has absorbed the data.
+    pub fn write_blocking(
+        &self,
+        file: FileHandle,
+        offset: u64,
+        data: &[u8],
+        direct: bool,
+    ) -> Result<(), IoError> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        self.validate(file.id, offset, data.len() as u64, direct)?;
+        let (reply, done) = bounded(1);
+        let started = Instant::now();
+        self.submit_blocking(Request {
+            file: file.id,
+            offset,
+            op: IoOp::Write,
+            buf: data.to_vec(),
+            user_data: 0,
+            reply,
+            submitted: started,
+        });
+        let completion = {
+            let _io = telemetry::state(telemetry::State::IoWait);
+            done.recv().map_err(|_| IoError::DeviceClosed)?
+        };
+        self.shared
+            .stats
+            .add_io_wait(started.elapsed().as_nanos() as u64);
+        completion.result.map(|_| ())
+    }
+}
+
+impl Drop for SimSsd {
+    fn drop(&mut self) {
+        // Close the queue and join workers so no thread outlives the device.
+        self.tx = None;
+        for h in self.workers.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Reserve `bytes` on the shared link; returns the instant the transfer
+/// would complete under the bandwidth budget.
+fn reserve_bandwidth(shared: &Shared, bytes: u64) -> Instant {
+    let dur = Duration::from_nanos((bytes as u128 * 1_000_000_000 / shared.profile.bandwidth as u128) as u64);
+    let mut cur = shared.bw_cursor.lock();
+    let now = Instant::now();
+    let start = (*cur).max(now);
+    *cur = start + dur;
+    *cur
+}
+
+fn channel_worker(shared: Arc<Shared>, rx: Receiver<Request>) {
+    // The channel's virtual clock: the deadline of the last request it
+    // serviced. It may run ahead of wall time by at most sleep_granularity.
+    let mut cursor = Instant::now();
+    while let Ok(req) = rx.recv() {
+        let now = Instant::now();
+        let base = match req.op {
+            IoOp::Read => shared.profile.read_latency,
+            IoOp::Write => shared.profile.write_latency,
+        };
+        let start = cursor.max(now);
+        let bw_done = reserve_bandwidth(&shared, req.buf.len() as u64);
+        let deadline = (start + base).max(bw_done);
+        cursor = deadline;
+
+        // Real data movement.
+        let result = do_copy(&shared, &req);
+
+        // Sleep off accumulated virtual time beyond the granularity, or
+        // fully when the queue is idle (so a lone synchronous caller sees
+        // its full modeled latency).
+        let ahead = deadline.saturating_duration_since(Instant::now());
+        if ahead > Duration::ZERO
+            && (rx.is_empty() || ahead >= shared.profile.sleep_granularity)
+        {
+            std::thread::sleep(ahead);
+        }
+
+        match req.op {
+            IoOp::Read => shared.stats.add_read(req.buf.len() as u64),
+            IoOp::Write => shared.stats.add_write(req.buf.len() as u64),
+        }
+        let _ = req.reply.send(Completion {
+            user_data: req.user_data,
+            result,
+            latency: deadline.saturating_duration_since(req.submitted),
+        });
+    }
+}
+
+fn do_copy(shared: &Shared, req: &Request) -> Result<Vec<u8>, IoError> {
+    if req.op == IoOp::Read {
+        let every = shared
+            .fault_every
+            .load(std::sync::atomic::Ordering::Relaxed);
+        let target = shared
+            .fault_file
+            .load(std::sync::atomic::Ordering::Relaxed);
+        if every > 0 && (target == u32::MAX || target == req.file) {
+            let n = shared
+                .read_counter
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                + 1;
+            if n % every == 0 {
+                return Err(IoError::DeviceFault {
+                    file: req.file,
+                    offset: req.offset,
+                });
+            }
+        }
+    }
+    let base = {
+        let files = shared.files.lock();
+        let meta = files
+            .get(req.file as usize)
+            .ok_or(IoError::NoSuchFile(req.file))?;
+        if req.offset + req.buf.len() as u64 > meta.len {
+            return Err(IoError::OutOfRange {
+                file: req.file,
+                offset: req.offset,
+                len: req.buf.len() as u64,
+                file_len: meta.len,
+            });
+        }
+        meta.base + req.offset
+    } as usize;
+    match req.op {
+        IoOp::Read => {
+            let len = req.buf.len();
+            let mut buf = vec![0u8; len];
+            let image = shared.image.read();
+            buf.copy_from_slice(&image[base..base + len]);
+            Ok(buf)
+        }
+        IoOp::Write => {
+            let mut image = shared.image.write();
+            image[base..base + req.buf.len()].copy_from_slice(&req.buf);
+            Ok(Vec::new())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_returns_imported_data() {
+        let ssd = SimSsd::new(SsdProfile::instant());
+        let f = ssd.create_file(4096);
+        let data: Vec<u8> = (0..255).collect();
+        ssd.import(f, 100, &data).unwrap();
+        let mut out = vec![0u8; 255];
+        ssd.read_blocking(f, 100, &mut out, false).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let ssd = SimSsd::new(SsdProfile::instant());
+        let f = ssd.create_file(8192);
+        let data = vec![7u8; 1024];
+        ssd.write_blocking(f, 512, &data, true).unwrap();
+        let mut out = vec![0u8; 1024];
+        ssd.read_blocking(f, 512, &mut out, true).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn out_of_range_is_rejected_synchronously() {
+        let ssd = SimSsd::new(SsdProfile::instant());
+        let f = ssd.create_file(1024);
+        let mut out = vec![0u8; 512];
+        let err = ssd.read_blocking(f, 1024, &mut out, false).unwrap_err();
+        assert!(matches!(err, IoError::OutOfRange { .. }));
+    }
+
+    #[test]
+    fn direct_io_requires_sector_alignment() {
+        let ssd = SimSsd::new(SsdProfile::instant());
+        let f = ssd.create_file(4096);
+        let mut out = vec![0u8; 100];
+        let err = ssd.read_blocking(f, 0, &mut out, true).unwrap_err();
+        assert!(matches!(err, IoError::Misaligned { .. }));
+        // Same access is fine buffered.
+        ssd.read_blocking(f, 0, &mut out, false).unwrap();
+    }
+
+    #[test]
+    fn sync_read_pays_base_latency() {
+        let mut profile = SsdProfile::pm883();
+        profile.read_latency = Duration::from_millis(2);
+        profile.sleep_granularity = Duration::from_micros(100);
+        let ssd = SimSsd::new(profile);
+        let f = ssd.create_file(65536);
+        let mut out = vec![0u8; 512];
+        let t0 = Instant::now();
+        for i in 0..5 {
+            ssd.read_blocking(f, i * 512, &mut out, true).unwrap();
+        }
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(9),
+            "5 serial reads at 2ms base should take >=9ms, took {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn bandwidth_bounds_large_transfers() {
+        let mut profile = SsdProfile::instant();
+        profile.bandwidth = 10 * 1024 * 1024; // 10 MiB/s
+        profile.sleep_granularity = Duration::from_micros(100);
+        let ssd = SimSsd::new(profile);
+        let f = ssd.create_file(2 * 1024 * 1024);
+        let mut out = vec![0u8; 1024 * 1024];
+        let t0 = Instant::now();
+        ssd.read_blocking(f, 0, &mut out, false).unwrap();
+        let elapsed = t0.elapsed();
+        // 1 MiB at 10 MiB/s = 100 ms.
+        assert!(
+            elapsed >= Duration::from_millis(80),
+            "bandwidth cap not enforced: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn injected_faults_fail_deterministically() {
+        let ssd = SimSsd::new(SsdProfile::instant());
+        let f = ssd.create_file(8192);
+        ssd.inject_read_faults(3);
+        let mut out = vec![0u8; 512];
+        let mut failures = 0;
+        for i in 0..9u64 {
+            if ssd.read_blocking(f, (i % 8) * 512, &mut out, true).is_err() {
+                failures += 1;
+            }
+        }
+        assert_eq!(failures, 3, "every 3rd read fails");
+        ssd.inject_read_faults(0);
+        assert!(ssd.read_blocking(f, 0, &mut out, true).is_ok());
+    }
+
+    #[test]
+    fn iowait_is_accounted() {
+        let mut profile = SsdProfile::pm883();
+        profile.read_latency = Duration::from_millis(1);
+        let ssd = SimSsd::new(profile);
+        let f = ssd.create_file(4096);
+        let mut out = vec![0u8; 512];
+        ssd.read_blocking(f, 0, &mut out, true).unwrap();
+        assert!(ssd.stats().snapshot().io_wait_nanos >= 500_000);
+    }
+}

@@ -1,0 +1,105 @@
+//! Device-level I/O counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative counters maintained by a [`crate::SimSsd`].
+///
+/// `io_wait_nanos` is the summed wall time callers spent *blocked* on this
+/// device (synchronous reads and `wait_completion` calls), which is the
+/// quantity behind the paper's "ratio of I/O wait time" panels.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    pub read_ops: AtomicU64,
+    pub read_bytes: AtomicU64,
+    pub write_ops: AtomicU64,
+    pub write_bytes: AtomicU64,
+    /// Wall nanoseconds callers spent blocked waiting on this device.
+    pub io_wait_nanos: AtomicU64,
+    /// Times a submission found the device queue full and had to stall.
+    pub queue_full_stalls: AtomicU64,
+}
+
+/// A point-in-time copy of [`IoStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStatsSnapshot {
+    pub read_ops: u64,
+    pub read_bytes: u64,
+    pub write_ops: u64,
+    pub write_bytes: u64,
+    pub io_wait_nanos: u64,
+    pub queue_full_stalls: u64,
+}
+
+impl IoStats {
+    pub fn snapshot(&self) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            read_ops: self.read_ops.load(Ordering::Relaxed),
+            read_bytes: self.read_bytes.load(Ordering::Relaxed),
+            write_ops: self.write_ops.load(Ordering::Relaxed),
+            write_bytes: self.write_bytes.load(Ordering::Relaxed),
+            io_wait_nanos: self.io_wait_nanos.load(Ordering::Relaxed),
+            queue_full_stalls: self.queue_full_stalls.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn add_read(&self, bytes: u64) {
+        self.read_ops.fetch_add(1, Ordering::Relaxed);
+        self.read_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub fn add_write(&self, bytes: u64) {
+        self.write_ops.fetch_add(1, Ordering::Relaxed);
+        self.write_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub fn add_io_wait(&self, nanos: u64) {
+        self.io_wait_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+}
+
+impl IoStatsSnapshot {
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn delta_since(&self, earlier: &IoStatsSnapshot) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            read_ops: self.read_ops.saturating_sub(earlier.read_ops),
+            read_bytes: self.read_bytes.saturating_sub(earlier.read_bytes),
+            write_ops: self.write_ops.saturating_sub(earlier.write_ops),
+            write_bytes: self.write_bytes.saturating_sub(earlier.write_bytes),
+            io_wait_nanos: self.io_wait_nanos.saturating_sub(earlier.io_wait_nanos),
+            queue_full_stalls: self
+                .queue_full_stalls
+                .saturating_sub(earlier.queue_full_stalls),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = IoStats::default();
+        s.add_read(512);
+        s.add_read(1024);
+        s.add_write(256);
+        let snap = s.snapshot();
+        assert_eq!(snap.read_ops, 2);
+        assert_eq!(snap.read_bytes, 1536);
+        assert_eq!(snap.write_ops, 1);
+        assert_eq!(snap.write_bytes, 256);
+    }
+
+    #[test]
+    fn delta_is_saturating_and_correct() {
+        let s = IoStats::default();
+        s.add_read(100);
+        let a = s.snapshot();
+        s.add_read(50);
+        let b = s.snapshot();
+        let d = b.delta_since(&a);
+        assert_eq!(d.read_ops, 1);
+        assert_eq!(d.read_bytes, 50);
+        assert_eq!(a.delta_since(&b).read_bytes, 0);
+    }
+}

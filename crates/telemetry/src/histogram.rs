@@ -1,0 +1,161 @@
+//! Log-bucketed latency histogram (HdrHistogram-lite).
+//!
+//! Batch latencies in the pipeline span four orders of magnitude
+//! (microseconds for buffer hits, seconds for cold congested batches), so
+//! percentiles need exponential buckets: 2 % relative error is plenty for
+//! the tail panels.
+
+/// Exponentially-bucketed histogram over `u64` values (typically
+/// nanoseconds). 16 sub-buckets per octave ≈ 4.4 % worst-case relative
+/// error.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    /// bucket index = octave * SUBBUCKETS + sub; value 0 goes to bucket 0.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+const SUBBUCKETS: usize = 16;
+
+fn bucket_of(v: u64) -> usize {
+    if v < SUBBUCKETS as u64 {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros() as usize;
+    let shift = octave.saturating_sub(4); // keep 4 significant bits
+    let sub = ((v >> shift) as usize) & (SUBBUCKETS - 1);
+    (octave - 3) * SUBBUCKETS + sub
+}
+
+/// Representative (lower-bound) value of a bucket.
+fn bucket_floor(idx: usize) -> u64 {
+    if idx < SUBBUCKETS {
+        return idx as u64;
+    }
+    let octave = idx / SUBBUCKETS + 3;
+    let sub = idx % SUBBUCKETS;
+    let shift = octave - 4;
+    ((SUBBUCKETS + sub) as u64) << shift
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    pub fn record(&mut self, v: u64) {
+        let b = bucket_of(v);
+        if b >= self.buckets.len() {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.max = self.max.max(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at quantile `q` in [0, 1] (lower-bound of the bucket holding
+    /// it; exact for the recorded max).
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0)) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_floor(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, &b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 5, 9, 15] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(1.0), 15);
+        assert_eq!(h.max(), 15);
+    }
+
+    #[test]
+    fn percentiles_are_within_bucket_error() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v * 1000);
+        }
+        let p50 = h.percentile(0.5) as f64;
+        assert!(
+            (p50 - 5_000_000.0).abs() / 5_000_000.0 < 0.07,
+            "p50 {p50}"
+        );
+        let p99 = h.percentile(0.99) as f64;
+        assert!((p99 - 9_900_000.0).abs() / 9_900_000.0 < 0.07, "p99 {p99}");
+    }
+
+    #[test]
+    fn mean_and_merge() {
+        let mut a = Histogram::new();
+        a.record(100);
+        a.record(300);
+        let mut b = Histogram::new();
+        b.record(200);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert!((a.mean() - 200.0).abs() < 1e-9);
+        assert_eq!(a.max(), 300);
+    }
+
+    #[test]
+    fn bucket_floor_is_monotone_and_below_values() {
+        let mut prev = 0;
+        for v in (0..60).map(|e| 1u64 << e) {
+            let b = bucket_of(v);
+            let f = bucket_floor(b);
+            assert!(f <= v, "floor({b}) = {f} > {v}");
+            assert!(f >= prev, "floors must be monotone");
+            prev = f;
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Global per-class, per-state time accounting.
+//!
+//! Every registered thread owns a shared [`ThreadEntry`] recording its
+//! class, current state, and the instant of the last transition. Both state
+//! transitions *and* snapshots flush elapsed time into global counters, and
+//! snapshots flush **all** threads (not just the caller), so a thread parked
+//! in a multi-second I/O wait is charged accurately in every monitor
+//! sample, not only when it eventually wakes.
+//!
+//! GPU attribution: simulated-device compute runs on host threads, so a
+//! scoped [`state_as`] guard can re-home a thread's time into the GPU class
+//! for the duration of a "kernel" — meanwhile the host thread correctly
+//! contributes nothing to CPU-compute (in the real system the CPU is
+//! blocked on a CUDA sync at that point).
+
+use crate::{State, ThreadClass};
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+const CELLS: usize = ThreadClass::COUNT * State::COUNT;
+
+struct EntryInner {
+    class: ThreadClass,
+    state: State,
+    since: Instant,
+    dead: bool,
+}
+
+struct ThreadEntry {
+    inner: Mutex<EntryInner>,
+    generation: u64,
+}
+
+struct Global {
+    nanos: [AtomicU64; CELLS],
+    generation: AtomicU64,
+    gpu_count: AtomicUsize,
+    entries: Mutex<Vec<Arc<ThreadEntry>>>,
+    origin: Mutex<Option<Instant>>,
+}
+
+static GLOBAL: Global = Global {
+    nanos: [const { AtomicU64::new(0) }; CELLS],
+    generation: AtomicU64::new(0),
+    gpu_count: AtomicUsize::new(0),
+    entries: Mutex::new(Vec::new()),
+    origin: Mutex::new(None),
+};
+
+fn cell(class: ThreadClass, state: State) -> usize {
+    class.index() * State::COUNT + state.index()
+}
+
+/// Flush `entry`'s in-progress interval into the global counters.
+/// Caller holds the entry lock.
+fn flush_locked(inner: &mut EntryInner, generation: u64, entry_generation: u64, now: Instant) {
+    if inner.dead || entry_generation != generation {
+        inner.since = now;
+        return;
+    }
+    let elapsed = now.duration_since(inner.since).as_nanos() as u64;
+    GLOBAL.nanos[cell(inner.class, inner.state)].fetch_add(elapsed, Ordering::Relaxed);
+    inner.since = now;
+}
+
+/// TLS handle; dropping it (thread exit) retires the entry so it stops
+/// accruing time.
+struct TlsHandle {
+    entry: Arc<ThreadEntry>,
+}
+
+impl Drop for TlsHandle {
+    fn drop(&mut self) {
+        let generation = GLOBAL.generation.load(Ordering::Acquire);
+        let mut inner = self.entry.inner.lock();
+        flush_locked(&mut inner, generation, self.entry.generation, Instant::now());
+        inner.dead = true;
+    }
+}
+
+thread_local! {
+    static RECORD: RefCell<Option<TlsHandle>> = const { RefCell::new(None) };
+}
+
+/// Register the current thread under `class`, starting in [`State::Idle`].
+///
+/// Threads that never register are invisible to telemetry. Re-registering
+/// (e.g. after a [`reset`]) retires the old entry and creates a fresh one.
+pub fn register_thread(class: ThreadClass) {
+    let generation = GLOBAL.generation.load(Ordering::Acquire);
+    GLOBAL.origin.lock().get_or_insert_with(Instant::now);
+    let entry = Arc::new(ThreadEntry {
+        inner: Mutex::new(EntryInner {
+            class,
+            state: State::Idle,
+            since: Instant::now(),
+            dead: false,
+        }),
+        generation,
+    });
+    GLOBAL.entries.lock().push(Arc::clone(&entry));
+    RECORD.with(|r| {
+        // Dropping any previous handle retires its entry.
+        *r.borrow_mut() = Some(TlsHandle { entry });
+    });
+}
+
+/// Declare how many simulated GPU devices exist (denominator for GPU
+/// utilization; see [`crate::Monitor`]).
+pub fn set_gpu_count(n: usize) {
+    GLOBAL.gpu_count.store(n, Ordering::Relaxed);
+}
+
+pub(crate) fn gpu_count() -> usize {
+    GLOBAL.gpu_count.load(Ordering::Relaxed)
+}
+
+/// RAII guard returned by [`state`] / [`state_as`]; restores the previous
+/// (class, state) on drop.
+pub struct StateGuard {
+    previous: Option<(ThreadClass, State)>,
+}
+
+fn transition(new: Option<(Option<ThreadClass>, State)>) -> Option<(ThreadClass, State)> {
+    let generation = GLOBAL.generation.load(Ordering::Acquire);
+    RECORD.with(|r| {
+        let r = r.borrow();
+        let handle = r.as_ref()?;
+        let mut inner = handle.entry.inner.lock();
+        flush_locked(&mut inner, generation, handle.entry.generation, Instant::now());
+        let old = (inner.class, inner.state);
+        if let Some((class, state)) = new {
+            if let Some(c) = class {
+                inner.class = c;
+            }
+            inner.state = state;
+        }
+        Some(old)
+    })
+}
+
+impl Drop for StateGuard {
+    fn drop(&mut self) {
+        if let Some((class, state)) = self.previous {
+            transition(Some((Some(class), state)));
+        }
+    }
+}
+
+/// Enter `new_state` on the current thread until the guard drops.
+/// No-op (but harmless) on unregistered threads.
+pub fn state(new_state: State) -> StateGuard {
+    StateGuard {
+        previous: transition(Some((None, new_state))),
+    }
+}
+
+/// Enter `new_state` *attributed to `class`* until the guard drops — used
+/// by the simulated GPU to account kernel time as GPU compute while the
+/// hosting CPU thread is conceptually blocked on the device.
+pub fn state_as(class: ThreadClass, new_state: State) -> StateGuard {
+    StateGuard {
+        previous: transition(Some((Some(class), new_state))),
+    }
+}
+
+/// Accumulated nanoseconds per state for one thread class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassTotals {
+    nanos: [u64; State::COUNT],
+}
+
+impl ClassTotals {
+    pub fn nanos(&self, state: State) -> u64 {
+        self.nanos[state.index()]
+    }
+
+    pub fn total_nanos(&self) -> u64 {
+        self.nanos.iter().sum()
+    }
+}
+
+/// A snapshot of all counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Totals {
+    classes: [ClassTotals; ThreadClass::COUNT],
+}
+
+impl Totals {
+    pub fn class(&self, class: ThreadClass) -> ClassTotals {
+        self.classes[class.index()]
+    }
+
+    /// Counter-wise `self - earlier` (saturating).
+    pub fn delta_since(&self, earlier: &Totals) -> Totals {
+        let mut out = *self;
+        for c in 0..ThreadClass::COUNT {
+            for s in 0..State::COUNT {
+                out.classes[c].nanos[s] =
+                    out.classes[c].nanos[s].saturating_sub(earlier.classes[c].nanos[s]);
+            }
+        }
+        out
+    }
+}
+
+/// Flush every live thread's in-progress interval and read all counters.
+pub fn snapshot() -> Totals {
+    let generation = GLOBAL.generation.load(Ordering::Acquire);
+    let now = Instant::now();
+    {
+        let mut entries = GLOBAL.entries.lock();
+        entries.retain(|e| {
+            let mut inner = e.inner.lock();
+            flush_locked(&mut inner, generation, e.generation, now);
+            !inner.dead
+        });
+    }
+    let mut totals = Totals::default();
+    for c in 0..ThreadClass::COUNT {
+        for s in 0..State::COUNT {
+            totals.classes[c].nanos[s] = GLOBAL.nanos[c * State::COUNT + s].load(Ordering::Relaxed);
+        }
+    }
+    totals
+}
+
+/// Zero all counters and invalidate previously registered threads (they
+/// must re-register to be accounted again).
+pub fn reset() {
+    GLOBAL.generation.fetch_add(1, Ordering::AcqRel);
+    GLOBAL.entries.lock().clear();
+    for n in &GLOBAL.nanos {
+        n.store(0, Ordering::Relaxed);
+    }
+    *GLOBAL.origin.lock() = Some(Instant::now());
+}
+
+pub(crate) fn origin() -> Instant {
+    let mut origin = GLOBAL.origin.lock();
+    *origin.get_or_insert_with(Instant::now)
+}

@@ -1,0 +1,334 @@
+//! Row-major `f32` matrix with the kernels GNN layers need.
+
+/// A dense row-major matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a generator `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Wrap an existing row-major buffer.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer size mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Reset every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// `self @ other` (i-k-j loop order for cache-friendly row-major access).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ @ other` without materializing the transpose.
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = other.row(k);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ otherᵀ` without materializing the transpose.
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    /// `self += other`.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// `self += scale * other`.
+    pub fn add_scaled(&mut self, other: &Matrix, scale: f32) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += scale * b;
+        }
+    }
+
+    /// `self *= s`.
+    pub fn scale(&mut self, s: f32) {
+        for a in self.data.iter_mut() {
+            *a *= s;
+        }
+    }
+
+    /// Add a row-vector `bias` (1 × cols) to every row.
+    pub fn add_row_bias(&mut self, bias: &Matrix) {
+        assert_eq!(bias.rows, 1);
+        assert_eq!(bias.cols, self.cols);
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (a, &b) in row.iter_mut().zip(bias.data.iter()) {
+                *a += b;
+            }
+        }
+    }
+
+    /// Column-sum into a 1 × cols matrix (bias-gradient reduction).
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (o, &v) in out.data.iter_mut().zip(self.row(r).iter()) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Gather `indices` rows into a new matrix.
+    pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (i, &idx) in indices.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(idx));
+        }
+        out
+    }
+
+    /// Frobenius norm (for gradient diagnostics / clipping).
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Copy a column range into a new matrix.
+    pub fn columns(&self, range: std::ops::Range<usize>) -> Matrix {
+        assert!(range.end <= self.cols, "column range out of bounds");
+        let mut out = Matrix::zeros(self.rows, range.len());
+        for r in 0..self.rows {
+            out.row_mut(r)
+                .copy_from_slice(&self.row(r)[range.clone()]);
+        }
+        out
+    }
+
+    /// Serialize as little-endian bytes: rows, cols (u64 each), then data.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.data.len() * 4);
+        out.extend_from_slice(&(self.rows as u64).to_le_bytes());
+        out.extend_from_slice(&(self.cols as u64).to_le_bytes());
+        for v in &self.data {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parse the [`Matrix::to_bytes`] format; returns the matrix and the
+    /// bytes consumed, or `None` on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Option<(Matrix, usize)> {
+        if bytes.len() < 16 {
+            return None;
+        }
+        let rows = u64::from_le_bytes(bytes[0..8].try_into().ok()?) as usize;
+        let cols = u64::from_le_bytes(bytes[8..16].try_into().ok()?) as usize;
+        let n = rows.checked_mul(cols)?;
+        let need = 16 + n.checked_mul(4)?;
+        if bytes.len() < need {
+            return None;
+        }
+        let data = bytes[16..need]
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        Some((Matrix { rows, cols, data }, need))
+    }
+
+    /// Concatenate two matrices with equal row counts along columns.
+    pub fn hcat(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hcat row mismatch");
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn transpose_matmuls_agree_with_explicit_transpose() {
+        let a = m(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 4, &(0..12).map(|x| x as f32).collect::<Vec<_>>());
+        // aᵀ (2x3) @ b (3x4)
+        let at = Matrix::from_fn(2, 3, |r, c| a.get(c, r));
+        assert_eq!(a.t_matmul(&b), at.matmul(&b));
+
+        let c = m(5, 4, &(0..20).map(|x| x as f32 * 0.5).collect::<Vec<_>>());
+        // b (3x4) @ cᵀ (4x5)
+        let ct = Matrix::from_fn(4, 5, |r, cc| c.get(cc, r));
+        assert_eq!(b.matmul_t(&c), b.matmul(&ct));
+    }
+
+    #[test]
+    fn bias_and_sum_rows_are_inverse_shapes() {
+        let mut x = m(2, 3, &[1., 1., 1., 2., 2., 2.]);
+        let bias = m(1, 3, &[10., 20., 30.]);
+        x.add_row_bias(&bias);
+        assert_eq!(x.data(), &[11., 21., 31., 12., 22., 32.]);
+        let s = x.sum_rows();
+        assert_eq!(s.data(), &[23., 43., 63.]);
+    }
+
+    #[test]
+    fn gather_rows_copies_in_order() {
+        let x = m(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let g = x.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.data(), &[5., 6., 1., 2., 5., 6.]);
+    }
+
+    #[test]
+    fn hcat_concatenates_columns() {
+        let a = m(2, 1, &[1., 2.]);
+        let b = m(2, 2, &[3., 4., 5., 6.]);
+        let c = a.hcat(&b);
+        assert_eq!(c.cols(), 3);
+        assert_eq!(c.data(), &[1., 3., 4., 2., 5., 6.]);
+    }
+
+    #[test]
+    fn columns_slices_correctly() {
+        let m = Matrix::from_vec(2, 4, vec![0., 1., 2., 3., 4., 5., 6., 7.]);
+        let c = m.columns(1..3);
+        assert_eq!(c.data(), &[1., 2., 5., 6.]);
+        assert_eq!((c.rows(), c.cols()), (2, 2));
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let m = Matrix::from_vec(2, 3, vec![1.5, -2.0, 0.0, 3.25, 4.0, -0.5]);
+        let bytes = m.to_bytes();
+        let (back, used) = Matrix::from_bytes(&bytes).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(used, bytes.len());
+        assert!(Matrix::from_bytes(&bytes[..10]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

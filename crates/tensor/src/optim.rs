@@ -1,0 +1,156 @@
+//! Parameters and optimizers (SGD and Adam).
+
+use crate::matrix::Matrix;
+
+/// A trainable parameter: value plus accumulated gradient.
+#[derive(Debug, Clone)]
+pub struct Param {
+    pub value: Matrix,
+    pub grad: Matrix,
+}
+
+impl Param {
+    pub fn new(value: Matrix) -> Self {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        Param { value, grad }
+    }
+
+    /// Zero the accumulated gradient (keeps the allocation).
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+}
+
+/// An optimizer updates a parameter set from its gradients.
+pub trait Optimizer {
+    /// Apply one update step and zero the gradients.
+    fn step(&mut self, params: &mut [&mut Param]);
+}
+
+/// Plain stochastic gradient descent.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    pub lr: f32,
+}
+
+impl Sgd {
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        for p in params.iter_mut() {
+            let lr = self.lr;
+            p.value.add_scaled(&p.grad, -lr);
+            p.zero_grad();
+        }
+    }
+}
+
+/// Adam (Kingma & Ba), the optimizer the paper's training recipes use.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.is_empty() {
+            for p in params.iter() {
+                self.m.push(Matrix::zeros(p.value.rows(), p.value.cols()));
+                self.v.push(Matrix::zeros(p.value.rows(), p.value.cols()));
+            }
+        }
+        assert_eq!(self.m.len(), params.len(), "parameter set changed");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in params.iter_mut().enumerate() {
+            let m = self.m[i].data_mut();
+            let v = self.v[i].data_mut();
+            for (j, &g) in p.grad.data().iter().enumerate() {
+                m[j] = self.beta1 * m[j] + (1.0 - self.beta1) * g;
+                v[j] = self.beta2 * v[j] + (1.0 - self.beta2) * g * g;
+            }
+            for (j, w) in p.value.data_mut().iter_mut().enumerate() {
+                let mhat = m[j] / b1t;
+                let vhat = v[j] / b2t;
+                *w -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(w) = (w - 3)² with each optimizer; both must converge.
+    fn run(opt: &mut dyn Optimizer, steps: usize, lr_tolerant: f32) -> f32 {
+        let mut p = Param::new(Matrix::zeros(1, 1));
+        for _ in 0..steps {
+            let w = p.value.get(0, 0);
+            p.grad.set(0, 0, 2.0 * (w - 3.0));
+            opt.step(&mut [&mut p]);
+        }
+        let w = p.value.get(0, 0);
+        assert!(
+            (w - 3.0).abs() < lr_tolerant,
+            "did not converge: w = {w}"
+        );
+        w
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        run(&mut Sgd::new(0.1), 100, 1e-3);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        run(&mut Adam::new(0.1), 500, 1e-2);
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut p = Param::new(Matrix::zeros(2, 2));
+        p.grad.set(0, 0, 1.0);
+        let mut opt = Sgd::new(0.01);
+        opt.step(&mut [&mut p]);
+        assert_eq!(p.grad.data(), &[0.0; 4]);
+        assert!(p.value.get(0, 0) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter set changed")]
+    fn adam_rejects_changing_param_count() {
+        let mut opt = Adam::new(0.1);
+        let mut a = Param::new(Matrix::zeros(1, 1));
+        let mut b = Param::new(Matrix::zeros(1, 1));
+        opt.step(&mut [&mut a]);
+        opt.step(&mut [&mut a, &mut b]);
+    }
+}

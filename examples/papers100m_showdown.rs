@@ -1,0 +1,52 @@
+//! The paper's headline scenario at reproduction scale: train GraphSAGE on
+//! the Papers100M analog under a constrained host-memory budget and compare
+//! GNNDrive against PyG+ and Ginex on the same simulated SSD.
+//!
+//! ```sh
+//! cargo run --release --example papers100m_showdown
+//! ```
+
+use gnndrive_bench::{build_system, dataset_for, env_knobs, print_table, Row, Scenario, SystemKind};
+use gnndrive::graph::MiniDataset;
+
+fn main() {
+    let knobs = env_knobs();
+    let sc = Scenario::default_for(MiniDataset::Papers100M, &knobs);
+    println!(
+        "papers100m-mini: budget {} MiB, batch {}, fanouts {:?}",
+        sc.budget_bytes() / (1024 * 1024),
+        sc.batch_size,
+        sc.fanouts
+    );
+    let ds = dataset_for(&sc);
+
+    let mut rows = Vec::new();
+    for kind in [
+        SystemKind::GnnDriveGpu,
+        SystemKind::GnnDriveCpu,
+        SystemKind::Ginex,
+        SystemKind::PygPlus,
+    ] {
+        match build_system(kind, &sc, &ds) {
+            Ok(mut sys) => {
+                let r = sys.train_epoch(0, knobs.max_batches);
+                rows.push(
+                    Row::new(kind.name())
+                        .secs(r.extrapolated_wall().as_secs_f64())
+                        .secs(r.sample_secs)
+                        .secs(r.extract_secs)
+                        .secs(r.train_secs)
+                        .cell(format!("{:.1}", r.bytes_read as f64 / 1e6))
+                        .cell(r.error.unwrap_or_default()),
+                );
+            }
+            Err(e) => rows.push(Row::new(kind.name()).cell(format!("build: {e}"))),
+        }
+    }
+    print_table(
+        "papers100m-mini / GraphSAGE — one (extrapolated) epoch",
+        &["epoch_s", "sample_s", "extract_s", "train_s", "MB_read", "err"],
+        &rows,
+    );
+    println!("\nExpected ordering (paper Fig 8): GNNDrive-GPU < GNNDrive-CPU < Ginex < PyG+");
+}

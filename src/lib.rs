@@ -1,0 +1,14 @@
+//! GNNDrive façade crate: re-exports all subsystems under one roof.
+//!
+//! Most downstream users will depend on this crate and use the re-exported
+//! module paths, e.g. `gnndrive::core::Pipeline` or
+//! `gnndrive::graph::catalog`.
+pub use gnndrive_baselines as baselines;
+pub use gnndrive_core as core;
+pub use gnndrive_device as device;
+pub use gnndrive_graph as graph;
+pub use gnndrive_nn as nn;
+pub use gnndrive_sampling as sampling;
+pub use gnndrive_storage as storage;
+pub use gnndrive_telemetry as telemetry;
+pub use gnndrive_tensor as tensor;
