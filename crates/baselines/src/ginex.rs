@@ -20,7 +20,7 @@
 //!   at an 8 GB (scaled) budget construction fails with OOM, matching
 //!   Fig 9.
 
-use crate::common::{read_feature_row_direct, seed_labels};
+use crate::common::{read_feature_row_direct, seed_labels, BaselineMetrics};
 use gnndrive_core::{evaluate_model, EpochReport, TrainingSystem};
 use gnndrive_device::GpuDevice;
 use gnndrive_graph::{Dataset, NodeId};
@@ -90,6 +90,7 @@ pub struct Ginex {
     /// The feature cache: node → row. Capacity in rows.
     feature_cache: HashMap<NodeId, Vec<f32>>,
     feature_cache_slots: usize,
+    metrics: BaselineMetrics,
     _charges: Vec<MemCharge>,
 }
 
@@ -105,9 +106,10 @@ impl Ginex {
         governor: Arc<MemoryGovernor>,
         page_cache: Arc<PageCache>,
     ) -> Result<Self, OomError> {
-        let mut charges = Vec::new();
-        charges.push(governor.charge(cfg.neighbor_cache_bytes)?);
-        charges.push(governor.charge(cfg.feature_cache_bytes)?);
+        let charges = vec![
+            governor.charge(cfg.neighbor_cache_bytes)?,
+            governor.charge(cfg.feature_cache_bytes)?,
+        ];
 
         let mmap = MmapTopo::new(Arc::clone(&ds.indptr), page_cache, ds.indices_file);
         let topo: Arc<dyn TopoReader> =
@@ -131,6 +133,7 @@ impl Ginex {
             opt: Adam::new(0.003),
             feature_cache: HashMap::new(),
             feature_cache_slots,
+            metrics: BaselineMetrics::new("ginex"),
             _charges: charges,
         })
     }
@@ -184,7 +187,14 @@ impl Ginex {
                 cs.transient = overflow.to_vec();
                 self.admit_all(fit, b, &mut cached, &mut heap, &mut cs, &next_use_after);
             } else {
-                self.admit_all(&batch_set, b, &mut cached, &mut heap, &mut cs, &next_use_after);
+                self.admit_all(
+                    &batch_set,
+                    b,
+                    &mut cached,
+                    &mut heap,
+                    &mut cs,
+                    &next_use_after,
+                );
             }
             changesets.push(cs);
         }
@@ -261,7 +271,11 @@ impl Ginex {
     }
 
     /// Read the spilled lists back (Ginex re-reads them in the train loop).
-    fn read_back_spill(&self, file: gnndrive_storage::FileHandle, samples: usize) -> Vec<Vec<NodeId>> {
+    fn read_back_spill(
+        &self,
+        file: gnndrive_storage::FileHandle,
+        samples: usize,
+    ) -> Vec<Vec<NodeId>> {
         let mut buf = vec![0u8; file.len as usize];
         self.ds
             .ssd
@@ -358,7 +372,12 @@ impl TrainingSystem for Ginex {
 
     fn train_epoch(&mut self, epoch: u64, max_batches: Option<usize>) -> EpochReport {
         telemetry::register_thread(ThreadClass::Cpu);
-        let plan = BatchPlan::new(&self.ds.train_idx, self.cfg.batch_size, epoch, self.cfg.seed);
+        let plan = BatchPlan::new(
+            &self.ds.train_idx,
+            self.cfg.batch_size,
+            epoch,
+            self.cfg.seed,
+        );
         let full_batches = plan.num_batches();
         let batches = full_batches.min(max_batches.unwrap_or(usize::MAX));
         let io_before = self.ds.ssd.stats().snapshot();
@@ -388,25 +407,21 @@ impl TrainingSystem for Ginex {
             extract_secs += t.elapsed().as_secs_f64();
 
             // Phase 3: extract (apply changesets) + train.
-            for ((sample, cs), spilled) in
-                samples.into_iter().zip(changesets).zip(spilled_lists)
-            {
+            for ((sample, cs), spilled) in samples.into_iter().zip(changesets).zip(spilled_lists) {
                 debug_assert_eq!(spilled, sample.input_nodes);
                 let t = Instant::now();
                 for n in &cs.evict {
                     self.feature_cache.remove(n);
                 }
                 nodes_loaded += (cs.load.len() + cs.transient.len()) as u64;
-                nodes_reused += (sample.input_nodes.len() - cs.load.len() - cs.transient.len())
-                    .max(0) as u64;
+                nodes_reused +=
+                    (sample.input_nodes.len() - cs.load.len() - cs.transient.len()) as u64;
                 let loaded = self.parallel_sync_load(&cs.load);
                 for (n, row) in loaded {
                     self.feature_cache.insert(n, row);
                 }
-                let transient: HashMap<NodeId, Vec<f32>> = self
-                    .parallel_sync_load(&cs.transient)
-                    .into_iter()
-                    .collect();
+                let transient: HashMap<NodeId, Vec<f32>> =
+                    self.parallel_sync_load(&cs.transient).into_iter().collect();
                 // Gather the batch from the (now warm) cache.
                 let dim = self.ds.spec.feat_dim;
                 let mut input = Matrix::zeros(sample.input_nodes.len(), dim);
@@ -433,6 +448,10 @@ impl TrainingSystem for Ginex {
                 let mut params = self.model.params_mut();
                 self.opt.step(&mut params);
                 loss_sum += result.loss as f64;
+                self.metrics
+                    .batch_latency
+                    .record(t.elapsed().as_nanos() as u64);
+                self.metrics.batches.inc();
                 train_secs += t.elapsed().as_secs_f64();
                 processed += 1;
             }
@@ -440,6 +459,8 @@ impl TrainingSystem for Ginex {
         }
 
         let io = self.ds.ssd.stats().snapshot().delta_since(&io_before);
+        self.metrics.epochs.inc();
+        self.metrics.bytes_read.add(io.read_bytes);
         EpochReport {
             wall: t0.elapsed(),
             batches: processed,
@@ -458,7 +479,12 @@ impl TrainingSystem for Ginex {
     }
 
     fn sample_only_epoch(&mut self, epoch: u64, max_batches: Option<usize>) -> Duration {
-        let plan = BatchPlan::new(&self.ds.train_idx, self.cfg.batch_size, epoch, self.cfg.seed);
+        let plan = BatchPlan::new(
+            &self.ds.train_idx,
+            self.cfg.batch_size,
+            epoch,
+            self.cfg.seed,
+        );
         let batches = plan.num_batches().min(max_batches.unwrap_or(usize::MAX));
         let t0 = Instant::now();
         let mut start = 0usize;

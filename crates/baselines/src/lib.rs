@@ -25,5 +25,5 @@ pub mod marius;
 pub mod pygplus;
 
 pub use ginex::{Ginex, GinexConfig};
-pub use marius::{MariusGnn, MariusConfig};
+pub use marius::{MariusConfig, MariusGnn};
 pub use pygplus::{PygPlus, PygPlusConfig};

@@ -20,7 +20,7 @@
 //!   when even the minimum buffer does not fit (MAG240M at 32 GB *and*
 //!   128 GB scaled), construction fails with OOM — Table 2's outcome.
 
-use crate::common::seed_labels;
+use crate::common::{seed_labels, BaselineMetrics};
 use gnndrive_core::{evaluate_model, EpochReport, TrainingSystem};
 use gnndrive_device::GpuDevice;
 use gnndrive_graph::{Dataset, NodeId};
@@ -96,6 +96,7 @@ pub struct MariusGnn {
     /// Resident partitions: partition id → row-major feature block.
     buffer: HashMap<usize, Vec<f32>>,
     partition_nodes: usize,
+    metrics: BaselineMetrics,
     _charges: Vec<MemCharge>,
 }
 
@@ -140,6 +141,7 @@ impl MariusGnn {
             opt: gnndrive_tensor::Adam::new(0.003),
             buffer: HashMap::new(),
             partition_nodes,
+            metrics: BaselineMetrics::new("marius"),
             _charges: charges,
         })
     }
@@ -169,7 +171,12 @@ impl MariusGnn {
             let n = chunk.min(total - off);
             self.ds
                 .ssd
-                .read_blocking(self.ds.features_file, base + off as u64, &mut bytes[off..off + n], false)
+                .read_blocking(
+                    self.ds.features_file,
+                    base + off as u64,
+                    &mut bytes[off..off + n],
+                    false,
+                )
                 .expect("partition read");
             off += n;
         }
@@ -325,7 +332,12 @@ impl TrainingSystem for MariusGnn {
                     );
                 }
             }
-            let plan = BatchPlan::new(&seeds, self.cfg.batch_size, epoch, self.cfg.seed ^ si as u64);
+            let plan = BatchPlan::new(
+                &seeds,
+                self.cfg.batch_size,
+                epoch,
+                self.cfg.seed ^ si as u64,
+            );
             for i in 0..plan.num_batches() {
                 if processed >= cap {
                     break 'states;
@@ -350,12 +362,18 @@ impl TrainingSystem for MariusGnn {
                 let mut params = self.model.params_mut();
                 self.opt.step(&mut params);
                 loss_sum += result.loss as f64;
+                self.metrics
+                    .batch_latency
+                    .record(t.elapsed().as_nanos() as u64);
+                self.metrics.batches.inc();
                 train_secs += t.elapsed().as_secs_f64();
                 processed += 1;
             }
         }
 
         let io = self.ds.ssd.stats().snapshot().delta_since(&io_before);
+        self.metrics.epochs.inc();
+        self.metrics.bytes_read.add(io.read_bytes);
         EpochReport {
             wall: t0.elapsed(),
             batches: processed,
@@ -493,7 +511,7 @@ mod tests {
         .unwrap();
         let states = sys.ordering(0);
         assert_eq!(states.len(), 8 - 3 + 1);
-        let mut seen = vec![false; 8];
+        let mut seen = [false; 8];
         for st in &states {
             assert_eq!(st.len(), 3);
             for &p in st {

@@ -17,7 +17,7 @@
 //!   host memory (charged to the governor) and in device memory for
 //!   training — large mini-batches OOM, as in the paper's Fig 10.
 
-use crate::common::{gather_features_mmap, seed_labels};
+use crate::common::{gather_features_mmap, seed_labels, BaselineMetrics};
 use gnndrive_core::{evaluate_model, EpochReport, TrainingSystem};
 use gnndrive_device::GpuDevice;
 use gnndrive_graph::Dataset;
@@ -65,6 +65,7 @@ pub struct PygPlus {
     topo: Arc<dyn TopoReader>,
     model: GnnModel,
     opt: Adam,
+    metrics: BaselineMetrics,
 }
 
 impl PygPlus {
@@ -99,6 +100,7 @@ impl PygPlus {
             topo,
             model,
             opt: Adam::new(0.003),
+            metrics: BaselineMetrics::new("pygplus"),
         }
     }
 }
@@ -119,7 +121,12 @@ impl TrainingSystem for PygPlus {
 
     fn train_epoch(&mut self, epoch: u64, max_batches: Option<usize>) -> EpochReport {
         telemetry::register_thread(ThreadClass::Cpu);
-        let plan = BatchPlan::new(&self.ds.train_idx, self.cfg.batch_size, epoch, self.cfg.seed);
+        let plan = BatchPlan::new(
+            &self.ds.train_idx,
+            self.cfg.batch_size,
+            epoch,
+            self.cfg.seed,
+        );
         let full_batches = plan.num_batches();
         let batches = full_batches.min(max_batches.unwrap_or(usize::MAX));
         if batches == 0 {
@@ -183,16 +190,15 @@ impl TrainingSystem for PygPlus {
                             // Block under memory pressure like a real
                             // loader inside malloc/reclaim; only a
                             // persistent shortfall is an OOM.
-                            let charge = match governor
-                                .charge_waiting(bytes, Duration::from_secs(30))
-                            {
-                                Ok(c) => c,
-                                Err(e) => {
-                                    *error.lock() = Some(format!("loader OOM: {e}"));
-                                    failed.store(true, Ordering::Relaxed);
-                                    break;
-                                }
-                            };
+                            let charge =
+                                match governor.charge_waiting(bytes, Duration::from_secs(30)) {
+                                    Ok(c) => c,
+                                    Err(e) => {
+                                        *error.lock() = Some(format!("loader OOM: {e}"));
+                                        failed.store(true, Ordering::Relaxed);
+                                        break;
+                                    }
+                                };
                             let features = {
                                 let _busy = telemetry::state(State::Compute);
                                 gather_features_mmap(
@@ -254,6 +260,10 @@ impl TrainingSystem for PygPlus {
                 self.opt.step(&mut params);
                 drop(dev_alloc);
                 loss_sum += result.loss as f64;
+                self.metrics
+                    .batch_latency
+                    .record(t.elapsed().as_nanos() as u64);
+                self.metrics.batches.inc();
                 train_secs += t.elapsed().as_secs_f64();
                 processed += 1;
             }
@@ -261,6 +271,8 @@ impl TrainingSystem for PygPlus {
         .expect("pyg+ scope");
 
         let io = self.ds.ssd.stats().snapshot().delta_since(&io_before);
+        self.metrics.epochs.inc();
+        self.metrics.bytes_read.add(io.read_bytes);
         EpochReport {
             wall: t0.elapsed(),
             batches: processed,
@@ -279,7 +291,12 @@ impl TrainingSystem for PygPlus {
     }
 
     fn sample_only_epoch(&mut self, epoch: u64, max_batches: Option<usize>) -> Duration {
-        let plan = BatchPlan::new(&self.ds.train_idx, self.cfg.batch_size, epoch, self.cfg.seed);
+        let plan = BatchPlan::new(
+            &self.ds.train_idx,
+            self.cfg.batch_size,
+            epoch,
+            self.cfg.seed,
+        );
         let batches = plan.num_batches().min(max_batches.unwrap_or(usize::MAX));
         let sampler = Arc::new(NeighborSampler::new(
             Arc::clone(&self.topo),

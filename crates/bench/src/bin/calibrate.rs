@@ -3,7 +3,9 @@
 //! buffer sizes) can be sanity-checked against the paper's shape
 //! (extract ≫ sample ≈ train; GNNDrive ≫ baselines).
 
-use gnndrive_bench::{build_system, dataset_for, env_knobs, print_table, Row, Scenario, SystemKind};
+use gnndrive_bench::{
+    build_system, dataset_for, env_knobs, print_table, Row, Scenario, SystemKind,
+};
 use gnndrive_graph::MiniDataset;
 
 fn main() {
@@ -60,8 +62,16 @@ fn main() {
     print_table(
         "calibration (papers100m-mini, GraphSAGE)",
         &[
-            "batches", "wall_s", "s/batch", "epoch_s", "sample_s", "extract_s", "train_s",
-            "prep_s", "MB_read", "err",
+            "batches",
+            "wall_s",
+            "s/batch",
+            "epoch_s",
+            "sample_s",
+            "extract_s",
+            "train_s",
+            "prep_s",
+            "MB_read",
+            "err",
         ],
         &rows,
     );

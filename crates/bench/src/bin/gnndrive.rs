@@ -11,7 +11,10 @@
 //! Argument parsing is hand-rolled (the repo keeps its dependency set to
 //! the approved offline crates).
 
-use gnndrive_bench::{build_system, dataset_for, env_knobs, Scenario, SystemKind};
+use gnndrive_bench::{
+    build_system, collect_report, dataset_for, env_knobs, scenario_desc, slug, write_report,
+    Scenario, SystemKind,
+};
 use gnndrive_graph::{Dataset, MiniDataset};
 use gnndrive_nn::ModelKind;
 use gnndrive_storage::{SimSsd, SsdProfile};
@@ -73,7 +76,10 @@ fn model_by_name(name: &str) -> Option<ModelKind> {
 }
 
 fn cmd_dataset_build(flags: HashMap<String, String>) {
-    let name = flags.get("name").map(String::as_str).unwrap_or_else(|| usage());
+    let name = flags
+        .get("name")
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
     let Some(mini) = dataset_by_name(name) else {
         eprintln!(
             "unknown dataset {name}; available: {}",
@@ -81,7 +87,10 @@ fn cmd_dataset_build(flags: HashMap<String, String>) {
         );
         std::process::exit(2);
     };
-    let out = flags.get("out").map(String::as_str).unwrap_or_else(|| usage());
+    let out = flags
+        .get("out")
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
     let knobs = env_knobs();
     let mut sc = Scenario::default_for(mini, &knobs);
     if let Some(d) = flags.get("dim") {
@@ -92,7 +101,8 @@ fn cmd_dataset_build(flags: HashMap<String, String>) {
     }
     let t0 = std::time::Instant::now();
     let ds = dataset_for(&sc);
-    ds.save_to_dir(std::path::Path::new(out)).expect("save dataset");
+    ds.save_to_dir(std::path::Path::new(out))
+        .expect("save dataset");
     println!(
         "built {} ({} nodes, {} edges, dim {}) in {:.2?} -> {out}",
         ds.spec.name,
@@ -113,7 +123,10 @@ fn cmd_train(flags: HashMap<String, String>) {
         .get("model")
         .map(|m| model_by_name(m).unwrap_or_else(|| usage()))
         .unwrap_or(ModelKind::GraphSage);
-    let epochs: u64 = flags.get("epochs").map(|v| v.parse().expect("--epochs")).unwrap_or(3);
+    let epochs: u64 = flags
+        .get("epochs")
+        .map(|v| v.parse().expect("--epochs"))
+        .unwrap_or(3);
     let max_batches = flags
         .get("max-batches")
         .map(|v| v.parse().expect("--max-batches"))
@@ -123,9 +136,8 @@ fn cmd_train(flags: HashMap<String, String>) {
     // Resolve the dataset: saved directory or named analog.
     let (sc, ds) = if let Some(dir) = flags.get("data") {
         let ssd = SimSsd::new(SsdProfile::pm883_repro());
-        let ds = Arc::new(
-            Dataset::load_from_dir(std::path::Path::new(dir), ssd).expect("load dataset"),
-        );
+        let ds =
+            Arc::new(Dataset::load_from_dir(std::path::Path::new(dir), ssd).expect("load dataset"));
         let mini = dataset_by_name(&ds.spec.name).unwrap_or(MiniDataset::Papers100M);
         let mut sc = Scenario::default_for(mini, &knobs);
         sc.dim = ds.spec.feat_dim;
@@ -169,6 +181,10 @@ fn cmd_train(flags: HashMap<String, String>) {
         sc.batch_size
     );
     println!("epoch -1: val acc {:.1}%", sys.evaluate() * 100.0);
+    let monitor = gnndrive_telemetry::Monitor::start(std::time::Duration::from_millis(100));
+    let t0 = std::time::Instant::now();
+    let mut last_loss = 0.0f64;
+    let mut total_batches = 0usize;
     for e in 0..epochs {
         let r = sys.train_epoch(e, max_batches);
         if let Some(err) = &r.error {
@@ -183,7 +199,22 @@ fn cmd_train(flags: HashMap<String, String>) {
             r.loss,
             sys.evaluate() * 100.0
         );
+        last_loss = r.loss as f64;
+        total_batches += r.batches;
     }
+    let wall = t0.elapsed();
+    let series = monitor.stop();
+    let mut report = collect_report(
+        &format!("train.{}", slug(&sys.name())),
+        &scenario_desc(&sc),
+        series,
+    );
+    report.add_scalar("epochs", epochs as f64);
+    report.add_scalar("batches", total_batches as f64);
+    report.add_scalar("wall_secs", wall.as_secs_f64());
+    report.add_scalar("final_loss", last_loss);
+    report.add_scalar("val_acc", sys.evaluate());
+    write_report(&report);
     if flags.contains_key("checkpoint") {
         eprintln!("note: --checkpoint requires the library API (Pipeline::model_mut().save()); the CLI trains behind the TrainingSystem trait which does not expose weights.");
     }

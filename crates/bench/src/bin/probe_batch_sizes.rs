@@ -5,18 +5,34 @@ use std::sync::Arc;
 
 fn main() {
     let knobs = env_knobs();
-    for d in [MiniDataset::Papers100M, MiniDataset::Twitter, MiniDataset::Friendster, MiniDataset::Mag240M] {
+    for d in [
+        MiniDataset::Papers100M,
+        MiniDataset::Twitter,
+        MiniDataset::Friendster,
+        MiniDataset::Mag240M,
+    ] {
         let mut sc = Scenario::default_for(d, &knobs);
         sc.scale = 1.0;
         let ds = dataset_for(&sc);
-        let sampler = NeighborSampler::new(Arc::new(InMemTopo::new(Arc::clone(&ds.topology))), sc.fanouts.clone());
+        let sampler = NeighborSampler::new(
+            Arc::new(InMemTopo::new(Arc::clone(&ds.topology))),
+            sc.fanouts.clone(),
+        );
         let plan = BatchPlan::new(&ds.train_idx, sc.batch_size, 0, 1);
-        let mut max_u = 0; let mut sum = 0;
+        let mut max_u = 0;
+        let mut sum = 0;
         for i in 0..8.min(plan.num_batches()) {
             let s = sampler.sample(i as u64, plan.batch(i), 7);
             max_u = max_u.max(s.input_nodes.len());
             sum += s.input_nodes.len();
         }
-        println!("{}: nodes={} batches={} avg_unique={} max_unique={}", d.name(), ds.spec.num_nodes, plan.num_batches(), sum/8, max_u);
+        println!(
+            "{}: nodes={} batches={} avg_unique={} max_unique={}",
+            d.name(),
+            ds.spec.num_nodes,
+            plan.num_batches(),
+            sum / 8,
+            max_u
+        );
     }
 }

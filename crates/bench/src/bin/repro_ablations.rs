@@ -11,14 +11,23 @@
 //! * `gpu-direct` — the paper's future-work GDS path: no staging hop,
 //!   4 KiB granularity
 
-use gnndrive_bench::{dataset_for, env_knobs, feature_buffer_slots_for, print_table, Row, Scenario};
+use gnndrive_bench::{
+    dataset_for, env_knobs, feature_buffer_slots_for, print_table, Row, Scenario,
+};
 use gnndrive_core::{GnnDriveConfig, Pipeline, TrainingSystem};
 use gnndrive_device::GpuDevice;
 use gnndrive_graph::MiniDataset;
 use gnndrive_storage::{MemoryGovernor, PageCache};
 use std::sync::Arc;
 
-fn run(sc: &Scenario, mutate: impl FnOnce(&mut GnnDriveConfig), knobs: &gnndrive_bench::EnvKnobs) -> Result<f64, String> {
+/// One config mutation, applied to a fresh default `GnnDriveConfig`.
+type Ablation = Box<dyn FnOnce(&mut GnnDriveConfig)>;
+
+fn run(
+    sc: &Scenario,
+    mutate: impl FnOnce(&mut GnnDriveConfig),
+    knobs: &gnndrive_bench::EnvKnobs,
+) -> Result<f64, String> {
     let ds = dataset_for(sc);
     let governor = MemoryGovernor::new(sc.budget_bytes());
     let cache = PageCache::new(Arc::clone(&ds.ssd), Arc::clone(&governor));
@@ -54,13 +63,28 @@ fn main() {
     // dim 64 so joint extraction has sub-sector rows to coalesce.
     let mut sc = Scenario::default_for(MiniDataset::Papers100M, &knobs);
     sc.dim = 64;
-    let ablations: Vec<(&str, Box<dyn FnOnce(&mut GnnDriveConfig)>)> = vec![
+    let ablations: Vec<(&str, Ablation)> = vec![
         ("default", Box::new(|_c: &mut GnnDriveConfig| {})),
-        ("sync-extract", Box::new(|c: &mut GnnDriveConfig| c.sync_extract = true)),
-        ("buffered-io", Box::new(|c: &mut GnnDriveConfig| c.direct_io = false)),
-        ("no-joint", Box::new(|c: &mut GnnDriveConfig| c.max_joint_read_bytes = 0)),
-        ("no-reorder", Box::new(|c: &mut GnnDriveConfig| c.reorder = false)),
-        ("gpu-direct", Box::new(|c: &mut GnnDriveConfig| c.gpu_direct = true)),
+        (
+            "sync-extract",
+            Box::new(|c: &mut GnnDriveConfig| c.sync_extract = true),
+        ),
+        (
+            "buffered-io",
+            Box::new(|c: &mut GnnDriveConfig| c.direct_io = false),
+        ),
+        (
+            "no-joint",
+            Box::new(|c: &mut GnnDriveConfig| c.max_joint_read_bytes = 0),
+        ),
+        (
+            "no-reorder",
+            Box::new(|c: &mut GnnDriveConfig| c.reorder = false),
+        ),
+        (
+            "gpu-direct",
+            Box::new(|c: &mut GnnDriveConfig| c.gpu_direct = true),
+        ),
     ];
     let mut rows = Vec::new();
     for (name, mutate) in ablations {

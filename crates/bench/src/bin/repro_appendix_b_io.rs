@@ -28,7 +28,12 @@ fn setup() -> (Arc<SimSsd>, gnndrive_storage::FileHandle) {
 
 /// Sync random 512 B reads with `threads` workers for a fixed duration:
 /// returns (bandwidth MB/s, mean latency µs).
-fn run_sync(ssd: &Arc<SimSsd>, f: gnndrive_storage::FileHandle, threads: usize, direct: bool) -> (f64, f64) {
+fn run_sync(
+    ssd: &Arc<SimSsd>,
+    f: gnndrive_storage::FileHandle,
+    threads: usize,
+    direct: bool,
+) -> (f64, f64) {
     let stop = Instant::now() + Duration::from_millis(RUN_MS);
     let ops = AtomicU64::new(0);
     let lat_nanos = AtomicU64::new(0);
@@ -71,7 +76,12 @@ fn run_sync(ssd: &Arc<SimSsd>, f: gnndrive_storage::FileHandle, threads: usize, 
 
 /// Async random 512 B reads with one thread at `depth` in-flight requests:
 /// returns (bandwidth MB/s, mean latency µs).
-fn run_async(ssd: &Arc<SimSsd>, f: gnndrive_storage::FileHandle, depth: usize, direct: bool) -> (f64, f64) {
+fn run_async(
+    ssd: &Arc<SimSsd>,
+    f: gnndrive_storage::FileHandle,
+    depth: usize,
+    direct: bool,
+) -> (f64, f64) {
     let stop = Instant::now() + Duration::from_millis(RUN_MS);
     let mut rng = StdRng::seed_from_u64(42);
     let mut ring = IoRing::new(Arc::clone(ssd), depth.max(1), direct);
@@ -89,7 +99,9 @@ fn run_async(ssd: &Arc<SimSsd>, f: gnndrive_storage::FileHandle, depth: usize, d
     }
     ring.submit();
     while Instant::now() < stop {
-        let Some(c) = ring.wait_completion() else { break };
+        let Some(c) = ring.wait_completion() else {
+            break;
+        };
         ops += 1;
         lat_nanos += c.latency.as_nanos() as u64;
         prepare(&mut ring, &mut rng);
@@ -117,7 +129,12 @@ fn main() {
     print_series(
         "Fig B.1 (a)+(c): synchronous I/O vs thread count",
         "threads",
-        &["direct MB/s", "buffered MB/s", "direct lat us", "buffered lat us"],
+        &[
+            "direct MB/s",
+            "buffered MB/s",
+            "direct lat us",
+            "buffered lat us",
+        ],
         &sync_points,
     );
 
@@ -130,7 +147,12 @@ fn main() {
     print_series(
         "Fig B.1 (b)+(d): asynchronous (ring) I/O vs I/O depth, one thread",
         "iodepth",
-        &["direct MB/s", "buffered MB/s", "direct lat us", "buffered lat us"],
+        &[
+            "direct MB/s",
+            "buffered MB/s",
+            "direct lat us",
+            "buffered lat us",
+        ],
         &async_points,
     );
 

@@ -29,20 +29,34 @@ fn main() {
             }
             let ds = dataset_for(&sc);
             let mut ys = Vec::new();
-            for kind in [SystemKind::PygPlus, SystemKind::Ginex, SystemKind::GnnDriveGpu] {
+            for kind in [
+                SystemKind::PygPlus,
+                SystemKind::Ginex,
+                SystemKind::GnnDriveGpu,
+            ] {
                 let y = match build_system(kind, &sc, &ds) {
                     Ok(mut sys) => {
                         let r = sys.train_epoch(0, knobs.max_batches);
                         match r.error {
                             Some(e) => {
-                                eprintln!("{} {} bs{bs} {}: {e}", dataset.name(), model.name(), kind.name());
+                                eprintln!(
+                                    "{} {} bs{bs} {}: {e}",
+                                    dataset.name(),
+                                    model.name(),
+                                    kind.name()
+                                );
                                 f64::NAN
                             }
                             None => r.extrapolated_wall().as_secs_f64(),
                         }
                     }
                     Err(e) => {
-                        eprintln!("{} {} bs{bs} {}: {e}", dataset.name(), model.name(), kind.name());
+                        eprintln!(
+                            "{} {} bs{bs} {}: {e}",
+                            dataset.name(),
+                            model.name(),
+                            kind.name()
+                        );
                         f64::NAN
                     }
                 };

@@ -5,9 +5,12 @@
 //! drastically lower (asynchronous extraction keeps CPUs off the wait
 //! queue) and utilization is correspondingly higher and steadier.
 
-use gnndrive_bench::{build_system, dataset_for, env_knobs, print_series, Scenario, SystemKind};
+use gnndrive_bench::{
+    build_system, collect_report, dataset_for, env_knobs, print_series, scenario_desc, slug,
+    write_report, Scenario, SystemKind,
+};
 use gnndrive_graph::MiniDataset;
-use gnndrive_telemetry::{reset, set_gpu_count, Monitor};
+use gnndrive_telemetry::{reset, reset_metrics, set_gpu_count, Monitor};
 use std::time::Duration;
 
 fn main() {
@@ -19,6 +22,7 @@ fn main() {
         match build_system(kind, &sc, &ds) {
             Ok(mut sys) => {
                 reset();
+                reset_metrics();
                 set_gpu_count(1);
                 let monitor = Monitor::start(Duration::from_millis(100));
                 for e in 0..3 {
@@ -31,7 +35,12 @@ fn main() {
                 let series = monitor.stop();
                 let points: Vec<(f64, Vec<f64>)> = series
                     .iter()
-                    .map(|p| (p.t_secs, vec![p.cpu_util * 100.0, p.gpu_util * 100.0, p.io_wait * 100.0]))
+                    .map(|p| {
+                        (
+                            p.t_secs,
+                            vec![p.cpu_util * 100.0, p.gpu_util * 100.0, p.io_wait * 100.0],
+                        )
+                    })
                     .collect();
                 print_series(
                     &format!("Fig 11: utilization over 3 epochs — {}", kind.name()),
@@ -49,6 +58,16 @@ fn main() {
                     g / n * 100.0,
                     w / n * 100.0
                 );
+                let mut report = collect_report(
+                    &format!("fig11_utilization.{}", slug(kind.name())),
+                    &scenario_desc(&sc),
+                    series,
+                );
+                report.add_scalar("epochs", 3.0);
+                report.add_scalar("mean_cpu_util", c / n);
+                report.add_scalar("mean_gpu_util", g / n);
+                report.add_scalar("mean_io_wait", w / n);
+                write_report(&report);
             }
             Err(e) => eprintln!("{}: build failed: {e}", kind.name()),
         }

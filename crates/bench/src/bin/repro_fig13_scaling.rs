@@ -24,11 +24,8 @@ fn main() {
             let y = match build_gnndrive_workers(&sc, &ds, w, gpu, true) {
                 Ok(mut pipelines) => {
                     // Split the training set into equal segments.
-                    let segments = gnndrive_core::parallel::split_segments(
-                        &ds.train_idx,
-                        w,
-                        sc.batch_size,
-                    );
+                    let segments =
+                        gnndrive_core::parallel::split_segments(&ds.train_idx, w, sc.batch_size);
                     for (p, seg) in pipelines.iter_mut().zip(segments) {
                         p.set_train_segment(seg);
                     }

@@ -18,7 +18,11 @@ use gnndrive_graph::MiniDataset;
 fn main() {
     let knobs = env_knobs();
     let dims = [64usize, 128, 256, 512];
-    let systems = [SystemKind::PygPlus, SystemKind::Ginex, SystemKind::GnnDriveGpu];
+    let systems = [
+        SystemKind::PygPlus,
+        SystemKind::Ginex,
+        SystemKind::GnnDriveGpu,
+    ];
     let mut points = Vec::new();
     for &dim in &dims {
         let mut ys = Vec::new();
@@ -29,9 +33,7 @@ fn main() {
 
             // `-only`: pure sampling epoch.
             let only = match build_system(kind, &sc, &ds) {
-                Ok(mut sys) => sys
-                    .sample_only_epoch(0, knobs.max_batches)
-                    .as_secs_f64(),
+                Ok(mut sys) => sys.sample_only_epoch(0, knobs.max_batches).as_secs_f64(),
                 Err(_) => f64::NAN,
             };
             // `-all`: run the full pipeline, report its accumulated

@@ -6,9 +6,12 @@
 //! at the start of each epoch (data preparation) and low iowait inside the
 //! epoch.
 
-use gnndrive_bench::{build_system, dataset_for, env_knobs, print_series, Scenario, SystemKind};
+use gnndrive_bench::{
+    build_system, collect_report, dataset_for, env_knobs, print_series, scenario_desc, slug,
+    write_report, Scenario, SystemKind,
+};
 use gnndrive_graph::MiniDataset;
-use gnndrive_telemetry::{reset, set_gpu_count, Monitor};
+use gnndrive_telemetry::{reset, reset_metrics, set_gpu_count, Monitor};
 use std::time::Duration;
 
 fn main() {
@@ -21,6 +24,7 @@ fn main() {
         match build_system(kind, &sc, &ds) {
             Ok(mut sys) => {
                 reset();
+                reset_metrics();
                 set_gpu_count(1);
                 let monitor = Monitor::start(Duration::from_millis(100));
                 for e in 0..epochs {
@@ -33,7 +37,12 @@ fn main() {
                 let series = monitor.stop();
                 let points: Vec<(f64, Vec<f64>)> = series
                     .iter()
-                    .map(|p| (p.t_secs, vec![p.cpu_util * 100.0, p.gpu_util * 100.0, p.io_wait * 100.0]))
+                    .map(|p| {
+                        (
+                            p.t_secs,
+                            vec![p.cpu_util * 100.0, p.gpu_util * 100.0, p.io_wait * 100.0],
+                        )
+                    })
                     .collect();
                 print_series(
                     &format!("Fig 3: utilization over 3 epochs — {}", kind.name()),
@@ -52,6 +61,16 @@ fn main() {
                     g / n * 100.0,
                     w / n * 100.0
                 );
+                let mut report = collect_report(
+                    &format!("fig3_utilization.{}", slug(kind.name())),
+                    &scenario_desc(&sc),
+                    series,
+                );
+                report.add_scalar("epochs", epochs as f64);
+                report.add_scalar("mean_cpu_util", c / n);
+                report.add_scalar("mean_gpu_util", g / n);
+                report.add_scalar("mean_io_wait", w / n);
+                write_report(&report);
             }
             Err(e) => eprintln!("{}: build failed: {e}", kind.name()),
         }

@@ -28,7 +28,10 @@ fn selected_models() -> Vec<ModelKind> {
     match std::env::var("REPRO_MODELS") {
         Ok(v) => ModelKind::ALL
             .into_iter()
-            .filter(|m| v.split(',').any(|s| s.trim().eq_ignore_ascii_case(m.name())))
+            .filter(|m| {
+                v.split(',')
+                    .any(|s| s.trim().eq_ignore_ascii_case(m.name()))
+            })
             .collect(),
         Err(_) => ModelKind::ALL.to_vec(),
     }
@@ -55,14 +58,24 @@ fn main() {
                         Ok(mut sys) => {
                             let r = sys.train_epoch(0, knobs.max_batches);
                             if let Some(e) = r.error {
-                                eprintln!("{} {} dim{dim} {}: {e}", dataset.name(), model.name(), kind.name());
+                                eprintln!(
+                                    "{} {} dim{dim} {}: {e}",
+                                    dataset.name(),
+                                    model.name(),
+                                    kind.name()
+                                );
                                 f64::NAN
                             } else {
                                 r.extrapolated_wall().as_secs_f64()
                             }
                         }
                         Err(e) => {
-                            eprintln!("{} {} dim{dim} {}: {e}", dataset.name(), model.name(), kind.name());
+                            eprintln!(
+                                "{} {} dim{dim} {}: {e}",
+                                dataset.name(),
+                                model.name(),
+                                kind.name()
+                            );
                             f64::NAN
                         }
                     };

@@ -29,7 +29,9 @@ fn main() {
     }
     print_table(
         "Table 1: dataset summary (paper GB -> repro MB at 1/1000 scale)",
-        &["#Node", "#Edge", "Dim.", "#Class", "Topo.MB", "Feat.MB", "Tol.MB"],
+        &[
+            "#Node", "#Edge", "Dim.", "#Class", "Topo.MB", "Feat.MB", "Tol.MB",
+        ],
         &rows,
     );
 }

@@ -7,10 +7,16 @@
 //! MAG240M at 32 GB *and* at 128 GB (prep-time OOM), while GNNDrive
 //! finishes even at 8 GB.
 
-use gnndrive_bench::{build_system, dataset_for, env_knobs, print_table, Row, Scenario, SystemKind};
+use gnndrive_bench::{
+    build_system, dataset_for, env_knobs, print_table, Row, Scenario, SystemKind,
+};
 use gnndrive_graph::MiniDataset;
 
-fn run_cell(kind: SystemKind, sc: &Scenario, knobs: &gnndrive_bench::EnvKnobs) -> (String, String, String) {
+fn run_cell(
+    kind: SystemKind,
+    sc: &Scenario,
+    knobs: &gnndrive_bench::EnvKnobs,
+) -> (String, String, String) {
     let ds = dataset_for(sc);
     match build_system(kind, sc, &ds) {
         Ok(mut sys) => {
@@ -23,7 +29,11 @@ fn run_cell(kind: SystemKind, sc: &Scenario, knobs: &gnndrive_bench::EnvKnobs) -
             let train = (r.wall.as_secs_f64() - r.prep_secs).max(0.0) * scale;
             let prep = r.prep_secs; // once per epoch, not per batch
             (
-                if prep > 0.0 { format!("{prep:.2}") } else { "N/A".into() },
+                if prep > 0.0 {
+                    format!("{prep:.2}")
+                } else {
+                    "N/A".into()
+                },
                 format!("{train:.2}"),
                 format!("{:.2}", prep + train),
             )

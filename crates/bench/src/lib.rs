@@ -18,10 +18,16 @@
 //! * `REPRO_MAX_BATCHES` — measured mini-batches per epoch (default 12)
 //! * `REPRO_EPOCHS` — measured epochs per point (default 1)
 //! * `REPRO_FULL=1` — full-size mini datasets, whole epochs (slow)
+//! * `REPRO_REPORT_DIR` — where JSON run reports land (default
+//!   `results/reports`; see [`artifacts`])
 
+pub mod artifacts;
 pub mod report;
 pub mod scenario;
 
+pub use artifacts::{
+    collect_report, report_dir, scenario_desc, slug, write_report, PIPELINE_STAGES,
+};
 pub use report::{print_series, print_table, Row};
 pub use scenario::{
     build_system, dataset_for, env_knobs, feature_buffer_slots_for, worst_case_batch_nodes,

@@ -1,6 +1,6 @@
 //! Experimental points and uniform system construction.
 
-use gnndrive_baselines::{Ginex, GinexConfig, MariusGnn, MariusConfig, PygPlus, PygPlusConfig};
+use gnndrive_baselines::{Ginex, GinexConfig, MariusConfig, MariusGnn, PygPlus, PygPlusConfig};
 use gnndrive_core::{GnnDriveConfig, Pipeline, TrainingSystem};
 use gnndrive_device::GpuDevice;
 use gnndrive_graph::{catalog::scaled_memory_budget, Dataset, MiniDataset};
@@ -21,7 +21,9 @@ pub struct EnvKnobs {
 
 /// Read the `REPRO_*` environment variables.
 pub fn env_knobs() -> EnvKnobs {
-    let full = std::env::var("REPRO_FULL").map(|v| v == "1").unwrap_or(false);
+    let full = std::env::var("REPRO_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     let scale = std::env::var("REPRO_SCALE")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -105,8 +107,8 @@ impl Scenario {
     }
 }
 
-static DATASET_CACHE: Mutex<Option<HashMap<(String, usize, u64), Arc<Dataset>>>> =
-    Mutex::new(None);
+type DatasetKey = (String, usize, u64);
+static DATASET_CACHE: Mutex<Option<HashMap<DatasetKey, Arc<Dataset>>>> = Mutex::new(None);
 
 /// Build (or fetch from the process cache) the dataset of a scenario.
 /// Each cached dataset owns its own simulated SSD.

@@ -202,7 +202,9 @@ pub fn extract_batch(
         &to_load,
         row_bytes,
         align,
-        ctx.max_joint_read_bytes.max(row_bytes as usize).max(align as usize),
+        ctx.max_joint_read_bytes
+            .max(row_bytes as usize)
+            .max(align as usize),
         ctx.features_file.len,
     );
 
@@ -214,7 +216,10 @@ pub fn extract_batch(
     if ctx.sync_extract {
         let mut buf = Vec::new();
         for group in &groups {
-            let _lease = ctx.staging.as_ref().map(|s| s.acquire(group.window_len as u64));
+            let _lease = ctx
+                .staging
+                .as_ref()
+                .map(|s| s.acquire(group.window_len as u64));
             buf.resize(group.window_len, 0);
             if let Err(e) = read_with_retries(
                 &ctx.ssd,
@@ -300,8 +305,8 @@ pub fn extract_batch(
 
     // Phase one: submit every group, reaping opportunistically to keep the
     // ring deep but bounded.
-    let mut next_group_id = 0u64;
-    for group in groups {
+    for (next_group_id, group) in groups.into_iter().enumerate() {
+        let next_group_id = next_group_id as u64;
         // Staging credits. Never block in `acquire` while this extractor
         // still holds leases with reapable load completions: with every
         // extractor doing that simultaneously the pool can never refill
@@ -354,11 +359,11 @@ pub fn extract_batch(
             }
         }
         pending_groups.insert(next_group_id, (group, lease));
-        next_group_id += 1;
         ring.submit();
         // Drain whatever already finished without blocking.
         while let Some(c) = ring.peek_completion() {
-            if let Err(e) = handle_load_completion(c, &mut pending_groups, &mut inflight_transfers) {
+            if let Err(e) = handle_load_completion(c, &mut pending_groups, &mut inflight_transfers)
+            {
                 ctx.fb.abort_batch(&plan, &sample.input_nodes);
                 return Err(e.into());
             }
@@ -379,14 +384,20 @@ pub fn extract_batch(
     }
     debug_assert!(pending_groups.is_empty(), "all groups must complete");
 
-    // Phase two tail: wait for outstanding transfers and publish.
-    while inflight_transfers > 0 {
-        let done = {
-            let _io = telemetry::state(telemetry::State::IoWait);
-            xfer_rx.recv().expect("transfer engine alive")
-        };
-        ctx.fb.publish(done.user_data as NodeId);
-        inflight_transfers -= 1;
+    // Phase two tail: wait for outstanding transfers and publish. The
+    // `transfer` span covers exactly the H2D drain left on the critical
+    // path — under healthy overlap it is near-zero; in a trace, wide
+    // transfer spans mean the device link is the bottleneck.
+    if ctx.transfer.is_some() {
+        let _span = telemetry::span("transfer", sample.batch_id);
+        while inflight_transfers > 0 {
+            let done = {
+                let _io = telemetry::state(telemetry::State::IoWait);
+                xfer_rx.recv().expect("transfer engine alive")
+            };
+            ctx.fb.publish(done.user_data as NodeId);
+            inflight_transfers -= 1;
+        }
     }
 
     // Wait for nodes other extractors were loading, resolving aliases.
@@ -406,10 +417,10 @@ pub fn extract_batch(
 mod tests {
     use super::*;
     use crate::config::GnnDriveConfig;
+    use gnndrive_device::TransferProfile;
     use gnndrive_graph::{Dataset, DatasetSpec};
     use gnndrive_sampling::{InMemTopo, NeighborSampler};
     use gnndrive_storage::{MemoryGovernor, SsdProfile};
-    use gnndrive_device::TransferProfile;
 
     fn tiny_dataset(dim: usize) -> Dataset {
         Dataset::build(

@@ -26,10 +26,12 @@ use crate::config::GnnDriveConfig;
 use gnndrive_device::FeatureSlab;
 use gnndrive_graph::NodeId;
 use gnndrive_storage::LruList;
+use gnndrive_telemetry as telemetry;
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use telemetry::{Counter, Gauge};
 
 const NO_SLOT: i64 = -1;
 
@@ -66,7 +68,10 @@ pub struct ExtractPlan {
 }
 
 /// Counters for the buffer's reuse behaviour (Fig 12 diagnostics).
-#[derive(Debug, Default)]
+///
+/// Increments are mirrored into the metrics registry under
+/// `feature_buffer.*`; the typed struct stays as the per-manager view.
+#[derive(Debug)]
 pub struct FeatureBufferStats {
     /// Nodes served from the buffer without any I/O (valid hit).
     pub reuse_hits: AtomicU64,
@@ -76,6 +81,47 @@ pub struct FeatureBufferStats {
     pub loads: AtomicU64,
     /// Valid entries invalidated when their slot was stolen.
     pub delayed_invalidations: AtomicU64,
+    m_reuse_hits: Counter,
+    m_shared_loads: Counter,
+    m_loads: Counter,
+    m_delayed_invalidations: Counter,
+}
+
+impl Default for FeatureBufferStats {
+    fn default() -> Self {
+        FeatureBufferStats {
+            reuse_hits: AtomicU64::new(0),
+            shared_loads: AtomicU64::new(0),
+            loads: AtomicU64::new(0),
+            delayed_invalidations: AtomicU64::new(0),
+            m_reuse_hits: telemetry::counter("feature_buffer.reuse_hits"),
+            m_shared_loads: telemetry::counter("feature_buffer.shared_loads"),
+            m_loads: telemetry::counter("feature_buffer.loads"),
+            m_delayed_invalidations: telemetry::counter("feature_buffer.delayed_invalidations"),
+        }
+    }
+}
+
+impl FeatureBufferStats {
+    fn add_reuse_hit(&self) {
+        self.reuse_hits.fetch_add(1, Ordering::Relaxed);
+        self.m_reuse_hits.inc();
+    }
+
+    fn add_shared_load(&self) {
+        self.shared_loads.fetch_add(1, Ordering::Relaxed);
+        self.m_shared_loads.inc();
+    }
+
+    fn add_load(&self) {
+        self.loads.fetch_add(1, Ordering::Relaxed);
+        self.m_loads.inc();
+    }
+
+    fn add_delayed_invalidation(&self) {
+        self.delayed_invalidations.fetch_add(1, Ordering::Relaxed);
+        self.m_delayed_invalidations.inc();
+    }
 }
 
 /// See module docs.
@@ -86,6 +132,9 @@ pub struct FeatureBufferManager {
     data_ready: Condvar,
     timeout: Duration,
     stats: FeatureBufferStats,
+    /// Registry gauge tracking the standby-list occupancy (free/retired
+    /// slots): the paper's feature-buffer headroom, live in run reports.
+    m_standby: Gauge,
 }
 
 impl FeatureBufferManager {
@@ -115,6 +164,12 @@ impl FeatureBufferManager {
             data_ready: Condvar::new(),
             timeout: config.slot_wait_timeout,
             stats: FeatureBufferStats::default(),
+            m_standby: {
+                telemetry::gauge("feature_buffer.slots").set(num_slots as i64);
+                let g = telemetry::gauge("feature_buffer.standby_slots");
+                g.set(num_slots as i64);
+                g
+            },
         }
     }
 
@@ -160,11 +215,11 @@ impl FeatureBufferManager {
                     inner.standby.remove(e.slot as u32);
                 }
                 aliases[i] = e.slot as u32;
-                self.stats.reuse_hits.fetch_add(1, Ordering::Relaxed);
+                self.stats.add_reuse_hit();
             } else if e.ref_count > 0 && !e.aborted {
                 // Another extractor is loading this node right now.
                 wait_for.push((i, node));
-                self.stats.shared_loads.fetch_add(1, Ordering::Relaxed);
+                self.stats.add_shared_load();
             } else {
                 // Fresh node, or one whose previous loader aborted: this
                 // extractor takes over the load.
@@ -201,16 +256,15 @@ impl FeatureBufferManager {
                 debug_assert_eq!(p.ref_count, 0, "standby slot owner must be unpinned");
                 p.valid = false;
                 p.slot = NO_SLOT;
-                self.stats
-                    .delayed_invalidations
-                    .fetch_add(1, Ordering::Relaxed);
+                self.stats.add_delayed_invalidation();
             }
             inner.reverse[slot as usize] = node as i64;
             inner.map[node as usize].slot = slot as i64;
             debug_assert!(!inner.map[node as usize].valid);
             aliases[i] = slot;
-            self.stats.loads.fetch_add(1, Ordering::Relaxed);
+            self.stats.add_load();
         }
+        self.m_standby.set(inner.standby.len() as i64);
 
         ExtractPlan {
             aliases,
@@ -303,6 +357,7 @@ impl FeatureBufferManager {
                 inner.standby.push_back(slot as u32);
             }
         }
+        self.m_standby.set(inner.standby.len() as i64);
         drop(inner);
         self.slot_available.notify_all();
         self.data_ready.notify_all();
@@ -326,6 +381,7 @@ impl FeatureBufferManager {
                 }
             }
         }
+        self.m_standby.set(inner.standby.len() as i64);
         drop(inner);
         if freed {
             self.slot_available.notify_all();
@@ -405,7 +461,7 @@ mod tests {
         for &(_, n) in &plan.to_load {
             fb.publish(n);
         }
-        fb.wait_ready(&mut plan);
+        let _ = fb.wait_ready(&mut plan);
         fb.release(&[3, 5]);
         // Second batch over the same nodes: zero loads (inter-batch reuse).
         let plan2 = fb.plan_batch(&[5, 3]);
@@ -443,7 +499,7 @@ mod tests {
             std::thread::sleep(Duration::from_millis(30));
             fb2.publish(7);
         });
-        fb.wait_ready(&mut plan_b);
+        let _ = fb.wait_ready(&mut plan_b);
         publisher.join().unwrap();
         assert_eq!(plan_b.aliases[0], plan_a.aliases[0]);
     }

@@ -175,8 +175,9 @@ pub fn run_data_parallel(
         for p in pipelines.iter_mut() {
             let sync = Arc::clone(&sync);
             handles.push(s.spawn(move |_| {
-                let report =
-                    p.train_epoch_with_sync(epoch, max_batches, |m| sync.all_reduce(m));
+                let report = p
+                    .train_epoch_with_sync(epoch, max_batches, |m| sync.all_reduce(m))
+                    .report;
                 sync.leave();
                 report
             }));

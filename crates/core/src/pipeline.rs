@@ -19,17 +19,28 @@ use gnndrive_graph::{Dataset, NodeId};
 use gnndrive_nn::{build_model, GnnModel, ModelKind};
 use gnndrive_sampling::{BatchPlan, MiniBatchSample, MmapTopo, NeighborSampler, TopoReader};
 use gnndrive_storage::{MemCharge, MemoryGovernor, OomError, PageCache};
-use gnndrive_telemetry::{self as telemetry, State, ThreadClass};
+use gnndrive_telemetry::{self as telemetry, HistSummary, State, ThreadClass};
 use gnndrive_tensor::{Adam, Matrix, Optimizer};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Per-epoch pipeline statistics (superset of [`EpochReport`]).
+/// Per-epoch pipeline statistics (superset of [`EpochReport`]):
+/// the report plus per-stage batch-latency percentiles.
 #[derive(Debug, Clone, Default)]
 pub struct EpochStats {
     pub report: EpochReport,
+    /// Per-batch latency distribution of each stage this epoch, in pipeline
+    /// order: `sample`, `extract`, `train`, `release`.
+    pub stages: Vec<(String, HistSummary)>,
+}
+
+impl EpochStats {
+    /// Latency summary of `stage` (`sample`/`extract`/`train`/`release`).
+    pub fn stage(&self, stage: &str) -> Option<&HistSummary> {
+        self.stages.iter().find(|(n, _)| n == stage).map(|(_, s)| s)
+    }
 }
 
 /// Whether the feature buffer lives on the device or in host memory.
@@ -83,6 +94,7 @@ impl Pipeline {
     /// `gpu_mode = false` selects the paper's CPU-based training
     /// architecture (§4.4): feature buffer in host memory, no staging hop,
     /// compute on the CPU model.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         ds: Arc<Dataset>,
         model_kind: ModelKind,
@@ -213,17 +225,28 @@ impl Pipeline {
 
     /// Run one epoch with an optional per-step hook invoked after each
     /// optimizer step (the data-parallel gradient synchronizer).
+    ///
+    /// Besides the [`EpochReport`], the returned [`EpochStats`] carries
+    /// per-stage batch-latency percentiles; the same distributions are also
+    /// recorded into the metrics registry (`pipeline.sample` ...), and when
+    /// tracing is enabled every batch leaves `sample`/`extract`/`train`/
+    /// `release` spans (plus `transfer` inside extraction).
     pub fn train_epoch_with_sync(
         &mut self,
         epoch: u64,
         max_batches: Option<usize>,
         mut on_step: impl FnMut(&mut GnnModel) + Send,
-    ) -> EpochReport {
-        let plan = BatchPlan::new(&self.train_segment, self.cfg.batch_size, epoch, self.cfg.seed);
+    ) -> EpochStats {
+        let plan = BatchPlan::new(
+            &self.train_segment,
+            self.cfg.batch_size,
+            epoch,
+            self.cfg.seed,
+        );
         let full_batches = plan.num_batches();
         let batches = full_batches.min(max_batches.unwrap_or(usize::MAX));
         if batches == 0 {
-            return EpochReport::default();
+            return EpochStats::default();
         }
 
         let sampler = Arc::new(NeighborSampler::new(
@@ -252,7 +275,24 @@ impl Pipeline {
             crossbeam::channel::bounded::<MiniBatchSample>(self.cfg.extract_queue_cap);
         let (train_tx, train_rx) =
             crossbeam::channel::bounded::<ExtractedBatch>(self.cfg.train_queue_cap);
-        let (release_tx, release_rx) = crossbeam::channel::bounded::<Vec<NodeId>>(64);
+        let (release_tx, release_rx) = crossbeam::channel::bounded::<(u64, Vec<NodeId>)>(64);
+
+        // Live depth gauges for the three bounded queues (𝔒2 diagnostics:
+        // a congested extract stage shows as a full extract queue and an
+        // empty train queue), plus registry histograms of the per-batch
+        // stage latencies. Local histograms feed this epoch's EpochStats.
+        let g_extract_q = telemetry::gauge("pipeline.extract_queue.depth");
+        let g_train_q = telemetry::gauge("pipeline.train_queue.depth");
+        let g_release_q = telemetry::gauge("pipeline.release_queue.depth");
+        let h_sample = telemetry::histogram_ns("pipeline.sample");
+        let h_extract = telemetry::histogram_ns("pipeline.extract");
+        let h_train = telemetry::histogram_ns("pipeline.train");
+        let h_release = telemetry::histogram_ns("pipeline.release");
+        let c_batches = telemetry::counter("pipeline.batches_trained");
+        let stage_sample: parking_lot::Mutex<telemetry::Histogram> = Default::default();
+        let stage_extract: parking_lot::Mutex<telemetry::Histogram> = Default::default();
+        let stage_release: parking_lot::Mutex<telemetry::Histogram> = Default::default();
+        let mut stage_train = telemetry::Histogram::new();
 
         let cursor = AtomicUsize::new(0);
         // Per-batch sample-start stamps (nanos since t0) for the latency
@@ -290,6 +330,9 @@ impl Pipeline {
                 let tx = extract_tx.clone();
                 let sample_nanos = &sample_nanos;
                 let batch_started = &batch_started;
+                let h_sample = h_sample.clone();
+                let g_extract_q = g_extract_q.clone();
+                let stage_sample = &stage_sample;
                 s.builder()
                     .name(format!("sampler-{w}"))
                     .spawn(move |_| {
@@ -300,19 +343,22 @@ impl Pipeline {
                                 break;
                             }
                             let t = Instant::now();
-                            batch_started[i].store(
-                                t.duration_since(t0).as_nanos() as u64,
-                                Ordering::Relaxed,
-                            );
+                            batch_started[i]
+                                .store(t.duration_since(t0).as_nanos() as u64, Ordering::Relaxed);
                             let sample = {
+                                let _span = telemetry::span("sample", i as u64);
                                 let _busy = telemetry::state(State::Compute);
                                 sampler.sample(i as u64, plan.batch(i), seed ^ epoch)
                             };
-                            sample_nanos.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            let spent = t.elapsed().as_nanos() as u64;
+                            sample_nanos.fetch_add(spent, Ordering::Relaxed);
+                            h_sample.record(spent);
+                            stage_sample.lock().record(spent);
                             // ② enqueue into the extracting queue.
                             if tx.send(sample).is_err() {
                                 break;
                             }
+                            g_extract_q.set(tx.len() as i64);
                         }
                     })
                     .expect("spawn sampler");
@@ -329,19 +375,27 @@ impl Pipeline {
                 let reused_nodes = &reused_nodes;
                 let failed_batches = &failed_batches;
                 let first_error = &first_error;
+                let h_extract = h_extract.clone();
+                let g_extract_q = g_extract_q.clone();
+                let g_train_q = g_train_q.clone();
+                let stage_extract = &stage_extract;
                 s.builder()
                     .name(format!("extractor-{w}"))
                     .spawn(move |_| {
                         telemetry::register_thread(ThreadClass::Cpu);
                         while let Ok(sample) = rx.recv() {
+                            g_extract_q.set(rx.len() as i64);
                             let t = Instant::now();
                             let total = sample.input_nodes.len() as u64;
+                            let batch_id = sample.batch_id;
+                            let span = telemetry::span("extract", batch_id);
                             match extract_batch(&ctx, sample) {
                                 Ok(batch) => {
-                                    extract_nanos.fetch_add(
-                                        t.elapsed().as_nanos() as u64,
-                                        Ordering::Relaxed,
-                                    );
+                                    drop(span);
+                                    let spent = t.elapsed().as_nanos() as u64;
+                                    extract_nanos.fetch_add(spent, Ordering::Relaxed);
+                                    h_extract.record(spent);
+                                    stage_extract.lock().record(spent);
                                     loaded_nodes
                                         .fetch_add(batch.loaded_nodes as u64, Ordering::Relaxed);
                                     reused_nodes.fetch_add(
@@ -351,6 +405,7 @@ impl Pipeline {
                                     if tx.send(batch).is_err() {
                                         break;
                                     }
+                                    g_train_q.set(tx.len() as i64);
                                 }
                                 Err(e) => {
                                     // Record the failure, drop the batch,
@@ -366,17 +421,29 @@ impl Pipeline {
             drop(train_tx);
 
             // ⑨ Releaser.
-            let releaser = s
-                .builder()
-                .name("releaser".into())
-                .spawn(move |_| {
-                    telemetry::register_thread(ThreadClass::Cpu);
-                    while let Ok(nodes) = release_rx.recv() {
-                        let _busy = telemetry::state(State::Compute);
-                        fb_for_release.release(&nodes);
-                    }
-                })
-                .expect("spawn releaser");
+            let releaser = {
+                let h_release = h_release.clone();
+                let g_release_q = g_release_q.clone();
+                let stage_release = &stage_release;
+                s.builder()
+                    .name("releaser".into())
+                    .spawn(move |_| {
+                        telemetry::register_thread(ThreadClass::Cpu);
+                        while let Ok((batch_id, nodes)) = release_rx.recv() {
+                            g_release_q.set(release_rx.len() as i64);
+                            let t = Instant::now();
+                            {
+                                let _span = telemetry::span("release", batch_id);
+                                let _busy = telemetry::state(State::Compute);
+                                fb_for_release.release(&nodes);
+                            }
+                            let spent = t.elapsed().as_nanos() as u64;
+                            h_release.record(spent);
+                            stage_release.lock().record(spent);
+                        }
+                    })
+                    .expect("spawn releaser")
+            };
 
             // ⑦⑧ Trainer (this thread).
             telemetry::register_thread(ThreadClass::Cpu);
@@ -386,22 +453,27 @@ impl Pipeline {
             'train: while done + failed_batches.load(Ordering::Relaxed) < batches {
                 // recv with a timeout so extraction failures (which shrink
                 // the expected batch count) cannot strand the trainer.
-                let recv_one = |pending: &mut BTreeMap<u64, ExtractedBatch>| -> Option<ExtractedBatch> {
-                    loop {
-                        match train_rx.recv_timeout(std::time::Duration::from_millis(50)) {
-                            Ok(b) => return Some(b),
-                            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                                if done + failed_batches.load(Ordering::Relaxed)
-                                    + pending.len()
-                                    >= batches
-                                {
-                                    return None;
+                let recv_one =
+                    |pending: &mut BTreeMap<u64, ExtractedBatch>| -> Option<ExtractedBatch> {
+                        loop {
+                            match train_rx.recv_timeout(std::time::Duration::from_millis(50)) {
+                                Ok(b) => {
+                                    g_train_q.set(train_rx.len() as i64);
+                                    return Some(b);
+                                }
+                                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                                    if done + failed_batches.load(Ordering::Relaxed) + pending.len()
+                                        >= batches
+                                    {
+                                        return None;
+                                    }
+                                }
+                                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                                    return None
                                 }
                             }
-                            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return None,
                         }
-                    }
-                };
+                    };
                 let batch = if reorder {
                     match recv_one(&mut pending) {
                         Some(b) => b,
@@ -433,32 +505,41 @@ impl Pipeline {
                 };
                 next_expected = next_expected.max(batch.sample.batch_id) + 1;
                 let t = Instant::now();
-                let (_r, _c, data) = slab.gather(&batch.aliases);
-                let input = Matrix::from_vec(batch.aliases.len(), feat_dim, data);
-                let y: Vec<usize> = batch
-                    .sample
-                    .seeds
-                    .iter()
-                    .map(|&n| labels[n as usize] as usize)
-                    .collect();
-                let flops = model.flops(&batch.sample.blocks);
-                let result =
-                    device
+                let result = {
+                    let _span = telemetry::span("train", batch.sample.batch_id);
+                    let (_r, _c, data) = slab.gather(&batch.aliases);
+                    let input = Matrix::from_vec(batch.aliases.len(), feat_dim, data);
+                    let y: Vec<usize> = batch
+                        .sample
+                        .seeds
+                        .iter()
+                        .map(|&n| labels[n as usize] as usize)
+                        .collect();
+                    let flops = model.flops(&batch.sample.blocks);
+                    let result = device
                         .compute
                         .run(flops, || model.train_step(&batch.sample.blocks, &input, &y));
-                // Data-parallel hook: gradient all-reduce happens *before*
-                // the optimizer step so replicas stay in lockstep.
-                on_step(model);
-                let mut params = model.params_mut();
-                opt.step(&mut params);
+                    // Data-parallel hook: gradient all-reduce happens
+                    // *before* the optimizer step so replicas stay in
+                    // lockstep.
+                    on_step(model);
+                    let mut params = model.params_mut();
+                    opt.step(&mut params);
+                    result
+                };
                 loss_sum += result.loss as f64;
-                train_secs += t.elapsed().as_secs_f64();
+                let spent = t.elapsed();
+                train_secs += spent.as_secs_f64();
+                h_train.record(spent.as_nanos() as u64);
+                stage_train.record(spent.as_nanos() as u64);
+                c_batches.inc();
                 let started = batch_started[batch.sample.batch_id as usize].load(Ordering::Relaxed);
                 latency.record((t0.elapsed().as_nanos() as u64).saturating_sub(started));
                 // ⑧ hand the original sampled node list to the releaser.
                 release_tx
-                    .send(batch.sample.input_nodes)
+                    .send((batch.sample.batch_id, batch.sample.input_nodes))
                     .expect("releaser alive");
+                g_release_q.set(release_tx.len() as i64);
                 done += 1;
             }
             drop(release_tx);
@@ -468,7 +549,8 @@ impl Pipeline {
 
         let io_after = self.ds.ssd.stats().snapshot();
         let io = io_after.delta_since(&io_before);
-        EpochReport {
+        telemetry::counter("pipeline.epochs").inc();
+        let report = EpochReport {
             wall: t0.elapsed(),
             batches: batches - failed_batches.load(Ordering::Relaxed),
             full_batches,
@@ -482,24 +564,51 @@ impl Pipeline {
             prep_secs: 0.0,
             batch_latency: latency,
             error: first_error.into_inner(),
+        };
+        EpochStats {
+            report,
+            stages: vec![
+                (
+                    "sample".to_string(),
+                    HistSummary::of(&stage_sample.into_inner()),
+                ),
+                (
+                    "extract".to_string(),
+                    HistSummary::of(&stage_extract.into_inner()),
+                ),
+                ("train".to_string(), HistSummary::of(&stage_train)),
+                (
+                    "release".to_string(),
+                    HistSummary::of(&stage_release.into_inner()),
+                ),
+            ],
         }
+    }
+
+    /// [`Pipeline::train_epoch_with_sync`] without a step hook — one epoch
+    /// with per-stage latency percentiles.
+    pub fn train_epoch_stats(&mut self, epoch: u64, max_batches: Option<usize>) -> EpochStats {
+        self.train_epoch_with_sync(epoch, max_batches, |_| {})
     }
 }
 
 impl TrainingSystem for Pipeline {
     fn name(&self) -> String {
-        format!(
-            "GNNDrive-{}",
-            if self.gpu_mode { "GPU" } else { "CPU" }
-        )
+        format!("GNNDrive-{}", if self.gpu_mode { "GPU" } else { "CPU" })
     }
 
     fn train_epoch(&mut self, epoch: u64, max_batches: Option<usize>) -> EpochReport {
         self.train_epoch_with_sync(epoch, max_batches, |_| {})
+            .report
     }
 
     fn sample_only_epoch(&mut self, epoch: u64, max_batches: Option<usize>) -> Duration {
-        let plan = BatchPlan::new(&self.train_segment, self.cfg.batch_size, epoch, self.cfg.seed);
+        let plan = BatchPlan::new(
+            &self.train_segment,
+            self.cfg.batch_size,
+            epoch,
+            self.cfg.seed,
+        );
         let batches = plan.num_batches().min(max_batches.unwrap_or(usize::MAX));
         let sampler = Arc::new(NeighborSampler::new(
             Arc::clone(&self.topo),

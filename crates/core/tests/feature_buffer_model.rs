@@ -3,7 +3,6 @@
 use gnndrive_core::{FeatureBufferManager, GnnDriveConfig};
 use gnndrive_device::FeatureSlab;
 use proptest::prelude::*;
-use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -135,7 +134,7 @@ fn concurrent_extractors_stress() {
                     for &(_, n) in &plan.to_load {
                         fb.publish(n);
                     }
-                    fb.wait_ready(&mut plan);
+                    let _ = fb.wait_ready(&mut plan);
                     // Aliases must map to this batch's nodes bijectively.
                     assert_eq!(plan.aliases.len(), uniq.len(), "iter {i}");
                     fb.release(&uniq);

@@ -57,7 +57,11 @@ fn gpu_pipeline_trains_and_learns() {
     for epoch in 0..4 {
         let report = p.train_epoch(epoch, None);
         assert_eq!(report.batches, report.full_batches);
-        assert!(report.batches >= 8, "expected full epoch, got {}", report.batches);
+        assert!(
+            report.batches >= 8,
+            "expected full epoch, got {}",
+            report.batches
+        );
         assert!(report.loss.is_finite());
         last_loss = report.loss;
         p.feature_buffer().check_invariants();
@@ -112,7 +116,10 @@ fn sample_only_epoch_runs_without_extraction() {
     let mut p = build(true, 32, config());
     let io_before = {
         // Feature file untouched in sample-only mode; only topology reads.
-        p.feature_buffer().stats().loads.load(std::sync::atomic::Ordering::Relaxed)
+        p.feature_buffer()
+            .stats()
+            .loads
+            .load(std::sync::atomic::Ordering::Relaxed)
     };
     let wall = p.sample_only_epoch(0, Some(4));
     assert!(wall.as_nanos() > 0);
@@ -144,18 +151,9 @@ fn device_oom_is_reported_at_build() {
         feature_buffer_slots: 1024 * 1024,
         ..config()
     };
-    let err = Pipeline::new(
-        ds,
-        ModelKind::GraphSage,
-        16,
-        cfg,
-        device,
-        true,
-        gov,
-        cache,
-    )
-    .err()
-    .expect("should OOM");
+    let err = Pipeline::new(ds, ModelKind::GraphSage, 16, cfg, device, true, gov, cache)
+        .err()
+        .expect("should OOM");
     assert!(format!("{err}").contains("device out of memory"));
 }
 
@@ -187,7 +185,7 @@ fn transient_read_faults_are_retried_transparently() {
     let mut p = build(true, 32, config());
     let ds = dataset(32);
     let _ = ds; // the pipeline holds its own dataset; fetch its SSD below
-    // Rebuild with a handle we can poke.
+                // Rebuild with a handle we can poke.
     let ds = dataset(32);
     let gov = MemoryGovernor::unlimited();
     let cache = PageCache::new(Arc::clone(&ds.ssd), Arc::clone(&gov));

@@ -53,7 +53,12 @@ impl GpuDevice {
             name: "rtx3090-sim",
             memory: DeviceMemory::new(240 * 1024 * 1024),
             transfer: TransferEngine::new(TransferProfile::pcie3_x16()),
-            compute: ComputeModel::new("rtx3090-sim", ThreadClass::Gpu, 1.2e9, Duration::from_micros(30)),
+            compute: ComputeModel::new(
+                "rtx3090-sim",
+                ThreadClass::Gpu,
+                1.2e9,
+                Duration::from_micros(30),
+            ),
         })
     }
 
@@ -65,7 +70,12 @@ impl GpuDevice {
             name: "k80-sim",
             memory: DeviceMemory::new(120 * 1024 * 1024),
             transfer: TransferEngine::new(TransferProfile::pcie3_x16()),
-            compute: ComputeModel::new("k80-sim", ThreadClass::Gpu, 0.3e9, Duration::from_micros(45)),
+            compute: ComputeModel::new(
+                "k80-sim",
+                ThreadClass::Gpu,
+                0.3e9,
+                Duration::from_micros(45),
+            ),
         })
     }
 

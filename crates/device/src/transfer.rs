@@ -9,10 +9,33 @@
 
 use crate::slab::FeatureSlab;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use gnndrive_telemetry as telemetry;
 use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Registry handles for the transfer path, cached once per process —
+/// `pay_blocking` runs per node in the synchronous extract path, so a
+/// registry lookup per call would be measurable.
+fn transfer_metrics() -> &'static (
+    telemetry::Counter,
+    telemetry::Counter,
+    telemetry::HistogramHandle,
+) {
+    static METRICS: OnceLock<(
+        telemetry::Counter,
+        telemetry::Counter,
+        telemetry::HistogramHandle,
+    )> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        (
+            telemetry::counter("device.transfer.ops"),
+            telemetry::counter("device.transfer.bytes"),
+            telemetry::histogram_ns("device.transfer.service"),
+        )
+    })
+}
 
 /// PCIe-like timing for the copy engine.
 #[derive(Debug, Clone)]
@@ -126,8 +149,12 @@ impl TransferEngine {
             + Duration::from_nanos(
                 (bytes as u128 * 1_000_000_000 / self.profile.bandwidth as u128) as u64,
             );
+        let (ops, total_bytes, service) = transfer_metrics();
+        ops.inc();
+        total_bytes.add(bytes);
+        service.record(dur.as_nanos() as u64);
         if dur > Duration::ZERO {
-            let _io = gnndrive_telemetry::state(gnndrive_telemetry::State::IoWait);
+            let _io = telemetry::state(telemetry::State::IoWait);
             std::thread::sleep(dur);
         }
     }
@@ -143,6 +170,7 @@ impl Drop for TransferEngine {
 }
 
 fn engine_loop(profile: TransferProfile, rx: Receiver<Job>) {
+    let (m_ops, m_bytes, m_service) = transfer_metrics();
     let mut cursor = Instant::now();
     while let Ok(job) = rx.recv() {
         let now = Instant::now();
@@ -154,6 +182,9 @@ fn engine_loop(profile: TransferProfile, rx: Receiver<Job>) {
         let start = cursor.max(now);
         let deadline = start + service;
         cursor = deadline;
+        m_ops.inc();
+        m_bytes.add(bytes);
+        m_service.record(service.as_nanos() as u64);
 
         job.dst.write_row(job.slot, &job.data);
 
@@ -177,9 +208,15 @@ mod tests {
         let slab = Arc::new(FeatureSlab::new(8, 4));
         let (tx, rx) = unbounded();
         for i in 0..8u32 {
-            engine.submit(vec![i as f32; 4], Arc::clone(&slab), i, i as u64, tx.clone());
+            engine.submit(
+                vec![i as f32; 4],
+                Arc::clone(&slab),
+                i,
+                i as u64,
+                tx.clone(),
+            );
         }
-        let mut seen = vec![false; 8];
+        let mut seen = [false; 8];
         for _ in 0..8 {
             let done = rx.recv_timeout(Duration::from_secs(2)).unwrap();
             seen[done.user_data as usize] = true;

@@ -177,12 +177,8 @@ impl Dataset {
             s.seed
         );
         std::fs::write(dir.join("spec.txt"), spec_text)?;
-        let dump_u64 = |v: &[u64]| -> Vec<u8> {
-            v.iter().flat_map(|x| x.to_le_bytes()).collect()
-        };
-        let dump_u32 = |v: &[u32]| -> Vec<u8> {
-            v.iter().flat_map(|x| x.to_le_bytes()).collect()
-        };
+        let dump_u64 = |v: &[u64]| -> Vec<u8> { v.iter().flat_map(|x| x.to_le_bytes()).collect() };
+        let dump_u32 = |v: &[u32]| -> Vec<u8> { v.iter().flat_map(|x| x.to_le_bytes()).collect() };
         std::fs::write(dir.join("indptr.bin"), dump_u64(&self.indptr))?;
         std::fs::write(dir.join("labels.bin"), dump_u32(&self.labels))?;
         std::fs::write(dir.join("train.bin"), dump_u32(&self.train_idx))?;
@@ -201,10 +197,7 @@ impl Dataset {
 
     /// Load a dataset previously written by [`Dataset::save_to_dir`] onto a
     /// fresh simulated SSD.
-    pub fn load_from_dir(
-        dir: &std::path::Path,
-        ssd: Arc<SimSsd>,
-    ) -> std::io::Result<Dataset> {
+    pub fn load_from_dir(dir: &std::path::Path, ssd: Arc<SimSsd>) -> std::io::Result<Dataset> {
         let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
         let spec_text = std::fs::read_to_string(dir.join("spec.txt"))?;
         let mut kv = std::collections::HashMap::new();
@@ -213,16 +206,26 @@ impl Dataset {
                 kv.insert(k.to_string(), v.to_string());
             }
         }
-        let get = |k: &str| kv.get(k).cloned().ok_or_else(|| bad(&format!("missing {k}")));
+        let get = |k: &str| {
+            kv.get(k)
+                .cloned()
+                .ok_or_else(|| bad(&format!("missing {k}")))
+        };
         let spec = DatasetSpec {
             name: get("name")?,
             num_nodes: get("num_nodes")?.parse().map_err(|_| bad("num_nodes"))?,
             num_edges: get("num_edges")?.parse().map_err(|_| bad("num_edges"))?,
             feat_dim: get("feat_dim")?.parse().map_err(|_| bad("feat_dim"))?,
-            num_classes: get("num_classes")?.parse().map_err(|_| bad("num_classes"))?,
+            num_classes: get("num_classes")?
+                .parse()
+                .map_err(|_| bad("num_classes"))?,
             intra_prob: get("intra_prob")?.parse().map_err(|_| bad("intra_prob"))?,
-            feature_signal: get("feature_signal")?.parse().map_err(|_| bad("feature_signal"))?,
-            train_fraction: get("train_fraction")?.parse().map_err(|_| bad("train_fraction"))?,
+            feature_signal: get("feature_signal")?
+                .parse()
+                .map_err(|_| bad("feature_signal"))?,
+            train_fraction: get("train_fraction")?
+                .parse()
+                .map_err(|_| bad("train_fraction"))?,
             seed: get("seed")?.parse().map_err(|_| bad("seed"))?,
         };
         let load_u64 = |name: &str| -> std::io::Result<Vec<u64>> {
@@ -247,9 +250,11 @@ impl Dataset {
             return Err(bad("indptr length mismatch"));
         }
         let indices_file = ssd.create_file(indices_img.len() as u64);
-        ssd.import(indices_file, 0, &indices_img).expect("import indices");
+        ssd.import(indices_file, 0, &indices_img)
+            .expect("import indices");
         let features_file = ssd.create_file(features_img.len() as u64);
-        ssd.import(features_file, 0, &features_img).expect("import features");
+        ssd.import(features_file, 0, &features_img)
+            .expect("import features");
         // Rebuild the in-memory ground-truth topology from the image.
         let edge_count = *indptr.last().unwrap() as usize;
         let indices: Vec<NodeId> = indices_img[..edge_count * 4]
@@ -258,8 +263,8 @@ impl Dataset {
             .collect();
         let mut edges = Vec::with_capacity(edge_count);
         for v in 0..spec.num_nodes {
-            for e in indptr[v] as usize..indptr[v + 1] as usize {
-                edges.push((indices[e], v as NodeId));
+            for &src in &indices[indptr[v] as usize..indptr[v + 1] as usize] {
+                edges.push((src, v as NodeId));
             }
         }
         let topology = Arc::new(CscTopology::from_edges(spec.num_nodes, &edges));

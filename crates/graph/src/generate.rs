@@ -46,9 +46,7 @@ pub fn generate_graph(
 
     // Planted communities: contiguous id ranges would make range-partition
     // baselines unrealistically good, so shuffle the assignment.
-    let mut labels: Vec<u32> = (0..num_nodes)
-        .map(|i| (i % num_classes) as u32)
-        .collect();
+    let mut labels: Vec<u32> = (0..num_nodes).map(|i| (i % num_classes) as u32).collect();
     for i in (1..num_nodes).rev() {
         let j = rng.gen_range(0..=i);
         labels.swap(i, j);

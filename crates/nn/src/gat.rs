@@ -73,8 +73,12 @@ impl GatLayer {
         let dot = |row: &[f32], a: &Matrix| -> f32 {
             row.iter().zip(a.row(0)).map(|(&x, &y)| x * y).sum()
         };
-        let alpha_src: Vec<f32> = (0..block.num_src).map(|i| dot(z.row(i), &self.a_src.value)).collect();
-        let alpha_dst: Vec<f32> = (0..block.num_dst).map(|d| dot(z.row(d), &self.a_dst.value)).collect();
+        let alpha_src: Vec<f32> = (0..block.num_src)
+            .map(|i| dot(z.row(i), &self.a_src.value))
+            .collect();
+        let alpha_dst: Vec<f32> = (0..block.num_dst)
+            .map(|d| dot(z.row(d), &self.a_dst.value))
+            .collect();
 
         let (edge_src, edge_dst) = Self::edges_with_self(block);
         let raw: Vec<f32> = edge_src
@@ -174,9 +178,8 @@ impl GatLayer {
         }
 
         // alpha_src = z · a_srcᵀ  (and alpha_dst on the dst prefix).
-        for i in 0..block.num_src {
+        for (i, &g) in d_alpha_src.iter().enumerate() {
             let zrow = cache.z.row(i);
-            let g = d_alpha_src[i];
             if g != 0.0 {
                 for (c, (&zv, &av)) in zrow.iter().zip(self.a_src.value.row(0)).enumerate() {
                     self.a_src.grad.data_mut()[c] += g * zv;
@@ -184,9 +187,8 @@ impl GatLayer {
                 }
             }
         }
-        for d in 0..block.num_dst {
+        for (d, &g) in d_alpha_dst.iter().enumerate() {
             let zrow = cache.z.row(d);
-            let g = d_alpha_dst[d];
             if g != 0.0 {
                 for (c, (&zv, &av)) in zrow.iter().zip(self.a_dst.value.row(0)).enumerate() {
                     self.a_dst.grad.data_mut()[c] += g * zv;
@@ -275,7 +277,11 @@ mod tests {
         let eps = 1e-2;
         let objective = |layer: &GatLayer| -> f32 {
             let (y, _) = layer.forward(&block, &h);
-            y.data().iter().zip(upstream.data()).map(|(a, b)| a * b).sum()
+            y.data()
+                .iter()
+                .zip(upstream.data())
+                .map(|(a, b)| a * b)
+                .sum()
         };
         for i in 0..layer.a_src.value.data().len() {
             let orig = layer.a_src.value.data()[i];

@@ -6,7 +6,9 @@
 //! self-loop), then applies one shared linear transform.
 
 use gnndrive_sampling::Block;
-use gnndrive_tensor::ops::{relu_backward_inplace, relu_inplace, segment_mean, segment_mean_backward};
+use gnndrive_tensor::ops::{
+    relu_backward_inplace, relu_inplace, segment_mean, segment_mean_backward,
+};
 use gnndrive_tensor::{xavier_uniform, Matrix, Param};
 
 /// One GCN layer: `h' = act(mean(h_neigh ∪ {h_self}) · W + b)`.
@@ -166,8 +168,18 @@ mod tests {
             layer.weight.value.data_mut()[i] = orig - eps;
             let (ym, _) = layer.forward(&block, &h);
             layer.weight.value.data_mut()[i] = orig;
-            let fp: f32 = yp.data().iter().zip(upstream.data()).map(|(a, b)| a * b).sum();
-            let fm: f32 = ym.data().iter().zip(upstream.data()).map(|(a, b)| a * b).sum();
+            let fp: f32 = yp
+                .data()
+                .iter()
+                .zip(upstream.data())
+                .map(|(a, b)| a * b)
+                .sum();
+            let fm: f32 = ym
+                .data()
+                .iter()
+                .zip(upstream.data())
+                .map(|(a, b)| a * b)
+                .sum();
             let num = (fp - fm) / (2.0 * eps);
             assert!(
                 (num - analytic.data()[i]).abs() < 5e-2,

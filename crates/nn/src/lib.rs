@@ -23,5 +23,5 @@ pub mod model;
 pub mod sage;
 
 pub use metrics::{accuracy, confusion_matrix, macro_f1};
-pub use sage::Aggregator;
 pub use model::{build_model, GnnModel, ModelKind, StepResult};
+pub use sage::Aggregator;

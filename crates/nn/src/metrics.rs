@@ -35,10 +35,16 @@ pub fn macro_f1(logits: &Matrix, labels: &[usize], num_classes: usize) -> f64 {
     let m = confusion_matrix(logits, labels, num_classes);
     let mut f1_sum = 0.0;
     let mut active = 0usize;
-    for c in 0..num_classes {
-        let tp = m[c][c] as f64;
-        let fp: f64 = (0..num_classes).filter(|&t| t != c).map(|t| m[t][c] as f64).sum();
-        let fn_: f64 = (0..num_classes).filter(|&p| p != c).map(|p| m[c][p] as f64).sum();
+    for (c, row) in m.iter().enumerate() {
+        let tp = row[c] as f64;
+        let fp: f64 = (0..num_classes)
+            .filter(|&t| t != c)
+            .map(|t| m[t][c] as f64)
+            .sum();
+        let fn_: f64 = (0..num_classes)
+            .filter(|&p| p != c)
+            .map(|p| m[c][p] as f64)
+            .sum();
         if tp + fp + fn_ == 0.0 {
             continue; // class absent from both truth and predictions
         }

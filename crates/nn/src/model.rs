@@ -144,7 +144,11 @@ pub fn build_model(
     let mut layers = Vec::with_capacity(num_layers);
     for i in 0..num_layers {
         let li = if i == 0 { in_dim } else { hidden };
-        let lo = if i == num_layers - 1 { num_classes } else { hidden };
+        let lo = if i == num_layers - 1 {
+            num_classes
+        } else {
+            hidden
+        };
         let relu = i != num_layers - 1;
         let lseed = seed.wrapping_add((i as u64 + 1) * 0x9E37);
         layers.push(match kind {
@@ -218,7 +222,10 @@ impl GnnModel {
 
     /// All trainable parameters (for the optimizer).
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// Serialize the architecture and all weights into a checkpoint blob.
@@ -260,8 +267,7 @@ impl GnnModel {
         let mut model = build_model(kind, in_dim, hidden, classes, layers, 0);
         let mut pos = 38;
         for p in model.params_mut() {
-            let (m, used) = Matrix::from_bytes(&bytes[pos..])
-                .ok_or("truncated checkpoint")?;
+            let (m, used) = Matrix::from_bytes(&bytes[pos..]).ok_or("truncated checkpoint")?;
             if (m.rows(), m.cols()) != (p.value.rows(), p.value.cols()) {
                 return Err("checkpoint shape mismatch".into());
             }
@@ -296,8 +302,7 @@ mod tests {
     fn planted_setup() -> (Arc<gnndrive_graph::CscTopology>, Vec<u32>, Vec<f32>, usize) {
         let g = generate_graph(400, 4000, 4, 0.85, 21);
         let dim = 16;
-        let feats =
-            gnndrive_graph::generate::generate_features(&g.labels, 4, dim, 1.5, 21);
+        let feats = gnndrive_graph::generate::generate_features(&g.labels, 4, dim, 1.5, 21);
         (Arc::new(g.topology), g.labels, feats, dim)
     }
 
@@ -314,10 +319,7 @@ mod tests {
     /// graph must lift training accuracy well above chance (25%).
     fn learns(kind: ModelKind) {
         let (topo, labels, feats, dim) = planted_setup();
-        let sampler = NeighborSampler::new(
-            Arc::new(InMemTopo::new(Arc::clone(&topo))),
-            vec![5, 5],
-        );
+        let sampler = NeighborSampler::new(Arc::new(InMemTopo::new(Arc::clone(&topo))), vec![5, 5]);
         let mut model = build_model(kind, dim, 16, 4, 2, 3);
         let mut opt = Adam::new(0.01);
         let train: Vec<u32> = (0..200u32).collect();
@@ -325,7 +327,11 @@ mod tests {
             for (bi, chunk) in train.chunks(50).enumerate() {
                 let sample = sampler.sample(bi as u64, chunk, epoch);
                 let input = gather_input(&feats, dim, &sample.input_nodes);
-                let y: Vec<usize> = sample.seeds.iter().map(|&s| labels[s as usize] as usize).collect();
+                let y: Vec<usize> = sample
+                    .seeds
+                    .iter()
+                    .map(|&s| labels[s as usize] as usize)
+                    .collect();
                 model.train_step(&sample.blocks, &input, &y);
                 let mut params = model.params_mut();
                 opt.step(&mut params);
@@ -336,7 +342,11 @@ mod tests {
         let sample = sampler.sample(999, &eval, 123);
         let input = gather_input(&feats, dim, &sample.input_nodes);
         let logits = model.forward(&sample.blocks, &input);
-        let y: Vec<usize> = sample.seeds.iter().map(|&s| labels[s as usize] as usize).collect();
+        let y: Vec<usize> = sample
+            .seeds
+            .iter()
+            .map(|&s| labels[s as usize] as usize)
+            .collect();
         let acc = crate::metrics::accuracy(&logits, &y);
         assert!(
             acc > 0.55,
@@ -363,8 +373,7 @@ mod tests {
     #[test]
     fn loss_decreases_over_steps() {
         let (topo, labels, feats, dim) = planted_setup();
-        let sampler =
-            NeighborSampler::new(Arc::new(InMemTopo::new(topo)), vec![4, 4]);
+        let sampler = NeighborSampler::new(Arc::new(InMemTopo::new(topo)), vec![4, 4]);
         let mut model = build_model(ModelKind::GraphSage, dim, 8, 4, 2, 5);
         let mut opt = Adam::new(0.02);
         let seeds: Vec<u32> = (0..64u32).collect();
@@ -373,7 +382,11 @@ mod tests {
         for step in 0..30 {
             let sample = sampler.sample(step, &seeds, 7);
             let input = gather_input(&feats, dim, &sample.input_nodes);
-            let y: Vec<usize> = sample.seeds.iter().map(|&s| labels[s as usize] as usize).collect();
+            let y: Vec<usize> = sample
+                .seeds
+                .iter()
+                .map(|&s| labels[s as usize] as usize)
+                .collect();
             let r = model.train_step(&sample.blocks, &input, &y);
             let mut params = model.params_mut();
             opt.step(&mut params);
@@ -397,7 +410,11 @@ mod tests {
         // One training step so weights aren't pristine.
         let sample = sampler.sample(0, &[1, 2, 3, 4], 5);
         let input = gather_input(&feats, dim, &sample.input_nodes);
-        let y: Vec<usize> = sample.seeds.iter().map(|&s| labels[s as usize] as usize).collect();
+        let y: Vec<usize> = sample
+            .seeds
+            .iter()
+            .map(|&s| labels[s as usize] as usize)
+            .collect();
         model.train_step(&sample.blocks, &input, &y);
         let blob = model.save();
         let restored = GnnModel::load(&blob).expect("load");

@@ -247,8 +247,18 @@ pub(crate) mod tests {
             layer.w_neigh.value.data_mut()[i] = orig - eps;
             let (ym, _) = layer.forward(&block, &h);
             layer.w_neigh.value.data_mut()[i] = orig;
-            let fp: f32 = yp.data().iter().zip(upstream.data()).map(|(a, b)| a * b).sum();
-            let fm: f32 = ym.data().iter().zip(upstream.data()).map(|(a, b)| a * b).sum();
+            let fp: f32 = yp
+                .data()
+                .iter()
+                .zip(upstream.data())
+                .map(|(a, b)| a * b)
+                .sum();
+            let fm: f32 = ym
+                .data()
+                .iter()
+                .zip(upstream.data())
+                .map(|(a, b)| a * b)
+                .sum();
             let num = (fp - fm) / (2.0 * eps);
             assert!(
                 (num - analytic.data()[i]).abs() < 5e-2,
@@ -305,8 +315,18 @@ pub(crate) mod tests {
     #[test]
     fn flops_scale_with_block_size() {
         let layer = SageLayer::new(64, 32, true, 5);
-        let small = Block { num_src: 10, num_dst: 4, edge_src: vec![5; 8], edge_dst: vec![0; 8] };
-        let big = Block { num_src: 100, num_dst: 40, edge_src: vec![5; 80], edge_dst: vec![0; 80] };
+        let small = Block {
+            num_src: 10,
+            num_dst: 4,
+            edge_src: vec![5; 8],
+            edge_dst: vec![0; 8],
+        };
+        let big = Block {
+            num_src: 100,
+            num_dst: 40,
+            edge_src: vec![5; 80],
+            edge_dst: vec![0; 80],
+        };
         assert!(layer.flops(&big) > 5 * layer.flops(&small));
     }
 }

@@ -65,7 +65,8 @@ impl NeighborSampler {
     /// systems draw identical subgraphs for identical inputs, which keeps
     /// cross-system comparisons apples-to-apples.
     pub fn sample(&self, batch_id: u64, seeds: &[NodeId], rng_seed: u64) -> MiniBatchSample {
-        let mut rng = StdRng::seed_from_u64(rng_seed ^ batch_id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            StdRng::seed_from_u64(rng_seed ^ batch_id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
 
         // Dedup seeds while preserving order (duplicate training ids would
         // break the local-index bijection).
@@ -85,8 +86,11 @@ impl NeighborSampler {
             let num_dst = targets.len();
             // Prefix convention: sources start as a copy of the targets.
             let mut srcs: Vec<NodeId> = targets.clone();
-            let mut local: HashMap<NodeId, u32> =
-                srcs.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+            let mut local: HashMap<NodeId, u32> = srcs
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, i as u32))
+                .collect();
             let mut edge_src = Vec::new();
             let mut edge_dst = Vec::new();
 
@@ -112,9 +116,7 @@ impl NeighborSampler {
                     }
                     SamplingPolicy::TopDegree => {
                         // Deterministic: highest in-degree first.
-                        neighbors.sort_unstable_by_key(|&n| {
-                            std::cmp::Reverse(self.topo.degree(n))
-                        });
+                        neighbors.sort_unstable_by_key(|&n| std::cmp::Reverse(self.topo.degree(n)));
                     }
                     SamplingPolicy::Full => {}
                 }
@@ -182,7 +184,8 @@ mod tests {
         assert_eq!(outer.num_dst, 5);
         // Every sampled edge is a real graph edge.
         let inner = &sample.blocks[0];
-        let mid_nodes: Vec<NodeId> = sample.input_nodes[..inner.num_dst.min(sample.input_nodes.len())].to_vec();
+        let mid_nodes: Vec<NodeId> =
+            sample.input_nodes[..inner.num_dst.min(sample.input_nodes.len())].to_vec();
         let _ = (topo, mid_nodes);
     }
 
@@ -308,7 +311,11 @@ mod tests {
             .collect();
         if !picked.is_empty() {
             let min_picked = picked.iter().map(|&n| topo.degree(n)).min().unwrap();
-            let all: Vec<usize> = topo.neighbors(a.seeds[0]).iter().map(|&n| topo.degree(n)).collect();
+            let all: Vec<usize> = topo
+                .neighbors(a.seeds[0])
+                .iter()
+                .map(|&n| topo.degree(n))
+                .collect();
             let mut sorted = all.clone();
             sorted.sort_unstable_by(|x, y| y.cmp(x));
             let kth = sorted[picked.len() - 1];

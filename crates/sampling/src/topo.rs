@@ -60,7 +60,7 @@ impl MmapTopo {
     ) -> Self {
         let indices = MmapArray::new(cache, indices_file);
         assert!(
-            indices.len() as u64 * 1 >= *indptr.last().expect("nonempty indptr"),
+            indices.len() as u64 >= *indptr.last().expect("nonempty indptr"),
             "indices file too short for indptr"
         );
         MmapTopo { indptr, indices }
@@ -98,9 +98,8 @@ impl<T: TopoReader> NeighborCacheTopo<T> {
     /// from the highest-degree vertices, which dominate sampling traffic).
     pub fn build(fallback: T, capacity_bytes: u64) -> Self {
         let n = fallback.num_nodes();
-        let mut by_degree: Vec<(usize, NodeId)> = (0..n as NodeId)
-            .map(|v| (fallback.degree(v), v))
-            .collect();
+        let mut by_degree: Vec<(usize, NodeId)> =
+            (0..n as NodeId).map(|v| (fallback.degree(v), v)).collect();
         by_degree.sort_unstable_by(|a, b| b.cmp(a));
         let mut cached = HashMap::new();
         let mut used = 0u64;
@@ -222,6 +221,9 @@ mod tests {
             .map(|v| ds.topology.degree(v))
             .max()
             .unwrap();
-        assert!(cached_min + 1 >= uncached_max, "{cached_min} vs {uncached_max}");
+        assert!(
+            cached_min + 1 >= uncached_max,
+            "{cached_min} vs {uncached_max}"
+        );
     }
 }

@@ -182,10 +182,19 @@ impl MemoryGovernor {
         timeout: std::time::Duration,
     ) -> Result<MemCharge, OomError> {
         let deadline = std::time::Instant::now() + timeout;
+        let mut stalled = false;
         loop {
             match self.charge(bytes) {
                 Ok(c) => return Ok(c),
                 Err(e) => {
+                    if !stalled {
+                        // Count admissions that had to wait (not each poll):
+                        // the paper's memory-contention symptom is threads
+                        // stalling at allocation, not how long the 2 ms poll
+                        // loop spins.
+                        stalled = true;
+                        gnndrive_telemetry::counter("governor.admission_stalls").inc();
+                    }
                     if std::time::Instant::now() >= deadline {
                         return Err(e);
                     }

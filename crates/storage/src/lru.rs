@@ -56,8 +56,7 @@ impl LruList {
     /// Whether `slot` is currently in the list.
     pub fn contains(&self, slot: u32) -> bool {
         let s = slot as usize;
-        s < self.prev.len()
-            && (self.prev[s] != NIL || self.next[s] != NIL || self.head == slot)
+        s < self.prev.len() && (self.prev[s] != NIL || self.next[s] != NIL || self.head == slot)
     }
 
     /// Append `slot` at the back (most-recently-used end).
@@ -148,7 +147,6 @@ impl LruList {
 mod tests {
     use super::*;
     use proptest::prelude::*;
-    use std::collections::VecDeque;
 
     #[test]
     fn fifo_order_without_touch() {

@@ -19,10 +19,12 @@
 use crate::governor::{ChargeKind, MemCharge, MemoryGovernor, MemoryReclaimer};
 use crate::lru::LruList;
 use crate::ssd::{FileHandle, SimSsd};
+use gnndrive_telemetry as telemetry;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use telemetry::{Counter, Gauge};
 
 /// Page size of the modeled OS (Linux default).
 pub const PAGE_SIZE: usize = 4096;
@@ -77,6 +79,14 @@ pub struct PageCache {
     evictions: AtomicU64,
     bypasses: AtomicU64,
     readaheads: AtomicU64,
+    // Registry mirrors of the counters above, plus the resident-page level
+    // (`page_cache.*`), kept in lockstep so run reports see the cache.
+    m_hits: Counter,
+    m_misses: Counter,
+    m_evictions: Counter,
+    m_bypasses: Counter,
+    m_readaheads: Counter,
+    m_resident: Gauge,
     /// Readahead window in pages (0 disables). Like the kernel, sequential
     /// miss patterns trigger one larger device read covering the window.
     readahead_pages: std::sync::atomic::AtomicUsize,
@@ -112,6 +122,12 @@ impl PageCache {
             evictions: AtomicU64::new(0),
             bypasses: AtomicU64::new(0),
             readaheads: AtomicU64::new(0),
+            m_hits: telemetry::counter("page_cache.hits"),
+            m_misses: telemetry::counter("page_cache.misses"),
+            m_evictions: telemetry::counter("page_cache.evictions"),
+            m_bypasses: telemetry::counter("page_cache.bypasses"),
+            m_readaheads: telemetry::counter("page_cache.readaheads"),
+            m_resident: telemetry::gauge("page_cache.resident_pages"),
             readahead_pages: std::sync::atomic::AtomicUsize::new(4),
             last_miss: Mutex::new(std::collections::HashMap::new()),
         });
@@ -146,7 +162,7 @@ impl PageCache {
                 inner.slots[s as usize].as_ref().map(|p| p.state),
                 Some(PageState::Ready)
             ) {
-                Self::evict_slot(&mut inner, s);
+                self.evict_slot(&mut inner, s);
             }
         }
     }
@@ -195,6 +211,7 @@ impl PageCache {
                     PageState::Ready => {
                         inner.lru.touch(slot);
                         self.hits.fetch_add(1, Ordering::Relaxed);
+                        self.m_hits.inc();
                         let page = inner.slots[slot as usize].as_ref().unwrap();
                         f(&page.data);
                         return;
@@ -209,11 +226,13 @@ impl PageCache {
             // Miss: find a slot (evict if needed), insert Pending, drop the
             // lock, do the device read, publish.
             self.misses.fetch_add(1, Ordering::Relaxed);
+            self.m_misses.inc();
             let slot = match self.acquire_slot(&mut inner, key) {
                 Some(s) => s,
                 None => {
                     // No room at all: uncached read-through.
                     self.bypasses.fetch_add(1, Ordering::Relaxed);
+                    self.m_bypasses.inc();
                     drop(inner);
                     let data = self.read_page_from_device(file, page_no);
                     f(&data);
@@ -236,16 +255,21 @@ impl PageCache {
             }
             inner.lru.push_back(slot);
             self.ready_cond.notify_all();
+            // Serve the faulting reader from the freshly published page
+            // before any speculation — readahead below may evict it again
+            // under a tight budget.
+            {
+                let page = inner.slots[slot as usize].as_ref().unwrap();
+                f(&page.data);
+            }
             // Sequential pattern: pull the readahead window in too (one
             // larger device transfer amortizes the per-request latency —
             // why buffered sequential I/O beats direct at low queue depth).
             let ra = self.readahead_pages.load(Ordering::Relaxed);
             if sequential && ra > 0 {
-                inner = self.readahead(inner, file, page_no + 1, ra);
+                let _inner = self.readahead(inner, file, page_no + 1, ra);
             }
-            // Loop around: the Ready branch will serve it (and count a hit —
-            // compensate by not double counting).
-            self.hits.fetch_sub(1, Ordering::Relaxed);
+            return;
         }
     }
 
@@ -301,6 +325,7 @@ impl PageCache {
         }
         self.readaheads
             .fetch_add(slots.len() as u64, Ordering::Relaxed);
+        self.m_readaheads.add(slots.len() as u64);
         self.ready_cond.notify_all();
         inner
     }
@@ -323,7 +348,7 @@ impl PageCache {
     fn acquire_slot(&self, inner: &mut Inner, key: (u32, u64)) -> Option<u32> {
         let charge = loop {
             if inner.map.len() >= self.max_pages {
-                if !Self::evict_lru(inner, &self.evictions) {
+                if !self.evict_lru(inner) {
                     return None;
                 }
                 continue;
@@ -331,7 +356,7 @@ impl PageCache {
             match self.gov.try_charge(PAGE_SIZE as u64, ChargeKind::PageCache) {
                 Some(c) => break c,
                 None => {
-                    if !Self::evict_lru(inner, &self.evictions) {
+                    if !self.evict_lru(inner) {
                         return None;
                     }
                 }
@@ -360,10 +385,11 @@ impl PageCache {
             }
         };
         inner.map.insert(key, slot);
+        self.m_resident.set(inner.map.len() as i64);
         Some(slot)
     }
 
-    fn evict_lru(inner: &mut Inner, evictions: &AtomicU64) -> bool {
+    fn evict_lru(&self, inner: &mut Inner) -> bool {
         // Pending pages are never in the LRU list, so anything popped is
         // safe to drop.
         match inner.lru.pop_front() {
@@ -372,18 +398,21 @@ impl PageCache {
                 inner.map.remove(&page.key);
                 inner.free.push(slot);
                 drop(page.charge);
-                evictions.fetch_add(1, Ordering::Relaxed);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.m_evictions.inc();
+                self.m_resident.set(inner.map.len() as i64);
                 true
             }
             None => false,
         }
     }
 
-    fn evict_slot(inner: &mut Inner, slot: u32) {
+    fn evict_slot(&self, inner: &mut Inner, slot: u32) {
         if inner.lru.remove(slot) {
             let page = inner.slots[slot as usize].take().expect("slot occupied");
             inner.map.remove(&page.key);
             inner.free.push(slot);
+            self.m_resident.set(inner.map.len() as i64);
         }
     }
 }
@@ -393,7 +422,7 @@ impl MemoryReclaimer for PageCache {
         let mut inner = self.inner.lock();
         let mut freed = 0u64;
         while freed < want {
-            if !Self::evict_lru(&mut inner, &self.evictions) {
+            if !self.evict_lru(&mut inner) {
                 break;
             }
             freed += PAGE_SIZE as u64;
@@ -479,8 +508,7 @@ impl<T: Pod> MmapArray<T> {
         assert!(idx < self.len, "index {idx} out of bounds {}", self.len);
         let mut buf = [0u8; 16];
         let bytes = &mut buf[..T::SIZE];
-        self.cache
-            .read(self.file, (idx * T::SIZE) as u64, bytes);
+        self.cache.read(self.file, (idx * T::SIZE) as u64, bytes);
         T::from_le(bytes)
     }
 
@@ -488,7 +516,8 @@ impl<T: Pod> MmapArray<T> {
     pub fn read_slice(&self, start: usize, out: &mut [T]) {
         assert!(start + out.len() <= self.len, "slice out of bounds");
         let mut bytes = vec![0u8; out.len() * T::SIZE];
-        self.cache.read(self.file, (start * T::SIZE) as u64, &mut bytes);
+        self.cache
+            .read(self.file, (start * T::SIZE) as u64, &mut bytes);
         for (i, o) in out.iter_mut().enumerate() {
             *o = T::from_le(&bytes[i * T::SIZE..(i + 1) * T::SIZE]);
         }
@@ -500,7 +529,10 @@ mod tests {
     use super::*;
     use crate::ssd::SsdProfile;
 
-    fn setup(budget_pages: usize, file_pages: usize) -> (Arc<PageCache>, FileHandle, Arc<MemoryGovernor>) {
+    fn setup(
+        budget_pages: usize,
+        file_pages: usize,
+    ) -> (Arc<PageCache>, FileHandle, Arc<MemoryGovernor>) {
         let ssd = SimSsd::new(SsdProfile::instant());
         let f = ssd.create_file((file_pages * PAGE_SIZE) as u64);
         for p in 0..file_pages {
@@ -561,7 +593,9 @@ mod tests {
         }
         assert_eq!(cache.stats().resident_pages, 4);
         // Anonymous charge forces reclaim of cached pages.
-        let _c = gov.charge(2 * PAGE_SIZE as u64).expect("reclaim makes room");
+        let _c = gov
+            .charge(2 * PAGE_SIZE as u64)
+            .expect("reclaim makes room");
         assert!(cache.stats().resident_pages <= 2);
     }
 

@@ -208,7 +208,7 @@ mod tests {
         for i in 0..64u64 {
             ring.prepare_read(f, i * 512, 512, i).unwrap();
         }
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         ring.drain(|c| {
             let buf = c.result.expect("read ok");
             assert_eq!(buf[0] as u64, c.user_data);

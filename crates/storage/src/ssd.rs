@@ -312,7 +312,7 @@ impl SimSsd {
         len: u64,
         direct: bool,
     ) -> Result<(), IoError> {
-        if direct && (offset % SECTOR_SIZE != 0 || len % SECTOR_SIZE != 0) {
+        if direct && (!offset.is_multiple_of(SECTOR_SIZE) || !len.is_multiple_of(SECTOR_SIZE)) {
             return Err(IoError::Misaligned { offset, len });
         }
         self.locate(file, offset, len).map(|_| ())
@@ -328,10 +328,7 @@ impl SimSsd {
         match self.sender().try_send(req) {
             Ok(()) => Ok(()),
             Err(TrySendError::Full(r)) => {
-                self.shared
-                    .stats
-                    .queue_full_stalls
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.shared.stats.add_queue_full_stall();
                 Err(r)
             }
             Err(TrySendError::Disconnected(_)) => panic!("ssd workers gone"),
@@ -433,7 +430,9 @@ impl Drop for SimSsd {
 /// Reserve `bytes` on the shared link; returns the instant the transfer
 /// would complete under the bandwidth budget.
 fn reserve_bandwidth(shared: &Shared, bytes: u64) -> Instant {
-    let dur = Duration::from_nanos((bytes as u128 * 1_000_000_000 / shared.profile.bandwidth as u128) as u64);
+    let dur = Duration::from_nanos(
+        (bytes as u128 * 1_000_000_000 / shared.profile.bandwidth as u128) as u64,
+    );
     let mut cur = shared.bw_cursor.lock();
     let now = Instant::now();
     let start = (*cur).max(now);
@@ -455,6 +454,12 @@ fn channel_worker(shared: Arc<Shared>, rx: Receiver<Request>) {
         let bw_done = reserve_bandwidth(&shared, req.buf.len() as u64);
         let deadline = (start + base).max(bw_done);
         cursor = deadline;
+        // Service = what the device model charges this request; queueing =
+        // how long it sat in the submission queue before a channel picked
+        // it up. Completion.latency below is their sum (plus send skew).
+        let service_ns = deadline.saturating_duration_since(start).as_nanos() as u64;
+        let queue_ns = now.saturating_duration_since(req.submitted).as_nanos() as u64;
+        shared.stats.record_op(service_ns, queue_ns);
 
         // Real data movement.
         let result = do_copy(&shared, &req);
@@ -463,9 +468,7 @@ fn channel_worker(shared: Arc<Shared>, rx: Receiver<Request>) {
         // fully when the queue is idle (so a lone synchronous caller sees
         // its full modeled latency).
         let ahead = deadline.saturating_duration_since(Instant::now());
-        if ahead > Duration::ZERO
-            && (rx.is_empty() || ahead >= shared.profile.sleep_granularity)
-        {
+        if ahead > Duration::ZERO && (rx.is_empty() || ahead >= shared.profile.sleep_granularity) {
             std::thread::sleep(ahead);
         }
 
@@ -486,15 +489,13 @@ fn do_copy(shared: &Shared, req: &Request) -> Result<Vec<u8>, IoError> {
         let every = shared
             .fault_every
             .load(std::sync::atomic::Ordering::Relaxed);
-        let target = shared
-            .fault_file
-            .load(std::sync::atomic::Ordering::Relaxed);
+        let target = shared.fault_file.load(std::sync::atomic::Ordering::Relaxed);
         if every > 0 && (target == u32::MAX || target == req.file) {
             let n = shared
                 .read_counter
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
                 + 1;
-            if n % every == 0 {
+            if n.is_multiple_of(every) {
                 return Err(IoError::DeviceFault {
                     file: req.file,
                     offset: req.offset,

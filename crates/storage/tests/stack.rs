@@ -120,7 +120,12 @@ fn concurrent_sync_and_async_traffic() {
             for i in 0..40u64 {
                 let off = (i % 128) * 512;
                 while ring
-                    .prepare_write(file, off, data2[off as usize..off as usize + 512].to_vec(), i)
+                    .prepare_write(
+                        file,
+                        off,
+                        data2[off as usize..off as usize + 512].to_vec(),
+                        i,
+                    )
                     .is_err()
                 {
                     ring.submit();

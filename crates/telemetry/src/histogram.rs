@@ -126,10 +126,7 @@ mod tests {
             h.record(v * 1000);
         }
         let p50 = h.percentile(0.5) as f64;
-        assert!(
-            (p50 - 5_000_000.0).abs() / 5_000_000.0 < 0.07,
-            "p50 {p50}"
-        );
+        assert!((p50 - 5_000_000.0).abs() / 5_000_000.0 < 0.07, "p50 {p50}");
         let p99 = h.percentile(0.99) as f64;
         assert!((p99 - 9_900_000.0).abs() / 9_900_000.0 < 0.07, "p99 {p99}");
     }

@@ -14,14 +14,28 @@
 //! storage and device crates; telemetry only observes.
 
 mod histogram;
+pub mod json;
+pub mod metrics;
 mod monitor;
 mod registry;
+mod report;
+mod trace;
 
 pub use histogram::Histogram;
+pub use json::Json;
+pub use metrics::{
+    counter, gauge, histogram_ns, reset_metrics, snapshot_metrics, Counter, Gauge, HistSummary,
+    HistogramHandle, MetricValue, MetricsSnapshot, Scope,
+};
 pub use monitor::{Monitor, SeriesPoint};
 pub use registry::{
     register_thread, reset, set_gpu_count, snapshot, state, state_as, ClassTotals, StateGuard,
     Totals,
+};
+pub use report::{ParsedReport, RunReport};
+pub use trace::{
+    export_chrome_trace, span, span_cat, trace_disable, trace_enable, trace_enabled, trace_take,
+    SpanGuard, TraceSpan,
 };
 
 /// The kind of execution resource a thread stands in for.

@@ -55,21 +55,35 @@ impl Monitor {
             .spawn(move || {
                 let mut prev = snapshot();
                 let mut prev_t = std::time::Instant::now();
-                while !stop2.load(Ordering::Relaxed) {
-                    std::thread::sleep(interval);
+                loop {
+                    // Sleep up to `interval`, waking early on stop so short
+                    // runs still flush their partial tail interval below.
+                    let slice = interval
+                        .min(Duration::from_millis(2))
+                        .max(Duration::from_micros(100));
+                    let deadline = std::time::Instant::now() + interval;
+                    let mut stopping = stop2.load(Ordering::Relaxed);
+                    while !stopping && std::time::Instant::now() < deadline {
+                        std::thread::sleep(slice);
+                        stopping = stop2.load(Ordering::Relaxed);
+                    }
                     let now = snapshot();
                     let wall = prev_t.elapsed();
                     prev_t = std::time::Instant::now();
                     let delta = now.delta_since(&prev);
                     prev = now;
-                    let (cpu_util, gpu_util, io_wait) =
-                        ratios(&delta, wall.as_nanos() as u64);
-                    series2.lock().push(SeriesPoint {
-                        t_secs: start.elapsed().as_secs_f64(),
-                        cpu_util,
-                        gpu_util,
-                        io_wait,
-                    });
+                    if !wall.is_zero() {
+                        let (cpu_util, gpu_util, io_wait) = ratios(&delta, wall.as_nanos() as u64);
+                        series2.lock().push(SeriesPoint {
+                            t_secs: start.elapsed().as_secs_f64(),
+                            cpu_util,
+                            gpu_util,
+                            io_wait,
+                        });
+                    }
+                    if stopping {
+                        break;
+                    }
                 }
             })
             .expect("spawn telemetry monitor");
@@ -125,6 +139,25 @@ mod tests {
         assert!(
             max_iowait > 0.5,
             "expected an interval dominated by iowait, max was {max_iowait}"
+        );
+    }
+
+    #[test]
+    fn stop_flushes_partial_tail_interval() {
+        reset();
+        register_thread(ThreadClass::Cpu);
+        // Interval far longer than the run: the only point the series can
+        // contain is the partial tail flushed at shutdown.
+        let monitor = Monitor::start(Duration::from_secs(60));
+        {
+            let _g = state(State::IoWait);
+            std::thread::sleep(Duration::from_millis(30));
+        }
+        let series = monitor.stop();
+        assert!(!series.is_empty(), "tail interval lost on stop");
+        assert!(
+            series.last().unwrap().io_wait > 0.3,
+            "tail point should reflect the stalled run: {series:?}"
         );
     }
 

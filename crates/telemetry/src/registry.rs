@@ -76,7 +76,12 @@ impl Drop for TlsHandle {
     fn drop(&mut self) {
         let generation = GLOBAL.generation.load(Ordering::Acquire);
         let mut inner = self.entry.inner.lock();
-        flush_locked(&mut inner, generation, self.entry.generation, Instant::now());
+        flush_locked(
+            &mut inner,
+            generation,
+            self.entry.generation,
+            Instant::now(),
+        );
         inner.dead = true;
     }
 }
@@ -130,7 +135,12 @@ fn transition(new: Option<(Option<ThreadClass>, State)>) -> Option<(ThreadClass,
         let r = r.borrow();
         let handle = r.as_ref()?;
         let mut inner = handle.entry.inner.lock();
-        flush_locked(&mut inner, generation, handle.entry.generation, Instant::now());
+        flush_locked(
+            &mut inner,
+            generation,
+            handle.entry.generation,
+            Instant::now(),
+        );
         let old = (inner.class, inner.state);
         if let Some((class, state)) = new {
             if let Some(c) = class {

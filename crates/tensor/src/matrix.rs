@@ -201,8 +201,7 @@ impl Matrix {
         assert!(range.end <= self.cols, "column range out of bounds");
         let mut out = Matrix::zeros(self.rows, range.len());
         for r in 0..self.rows {
-            out.row_mut(r)
-                .copy_from_slice(&self.row(r)[range.clone()]);
+            out.row_mut(r).copy_from_slice(&self.row(r)[range.clone()]);
         }
         out
     }

@@ -82,9 +82,9 @@ pub fn segment_mean(x: &Matrix, segments: &[usize], num_segments: usize) -> Matr
             *o += v;
         }
     }
-    for s in 0..num_segments {
-        if counts[s] > 1 {
-            let inv = 1.0 / counts[s] as f32;
+    for (s, &count) in counts.iter().enumerate() {
+        if count > 1 {
+            let inv = 1.0 / count as f32;
             for v in out.row_mut(s) {
                 *v *= inv;
             }
@@ -95,11 +95,7 @@ pub fn segment_mean(x: &Matrix, segments: &[usize], num_segments: usize) -> Matr
 
 /// Backward of [`segment_mean`]: scatter `grad` rows back to the inputs,
 /// scaled by 1/|segment|.
-pub fn segment_mean_backward(
-    grad: &Matrix,
-    segments: &[usize],
-    input_rows: usize,
-) -> Matrix {
+pub fn segment_mean_backward(grad: &Matrix, segments: &[usize], input_rows: usize) -> Matrix {
     let mut counts = vec![0u32; grad.rows()];
     for &s in segments {
         counts[s] += 1;
@@ -119,11 +115,7 @@ pub fn segment_mean_backward(
 /// Row-wise max of `x` grouped by `segments`; also returns, per output
 /// cell, the input row that supplied the max (for the backward pass).
 /// Empty segments stay at zero with winner −1.
-pub fn segment_max(
-    x: &Matrix,
-    segments: &[usize],
-    num_segments: usize,
-) -> (Matrix, Vec<i64>) {
+pub fn segment_max(x: &Matrix, segments: &[usize], num_segments: usize) -> (Matrix, Vec<i64>) {
     assert_eq!(x.rows(), segments.len());
     let cols = x.cols();
     let mut out = Matrix::from_fn(num_segments, cols, |_, _| f32::NEG_INFINITY);

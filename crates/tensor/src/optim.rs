@@ -117,10 +117,7 @@ mod tests {
             opt.step(&mut [&mut p]);
         }
         let w = p.value.get(0, 0);
-        assert!(
-            (w - 3.0).abs() < lr_tolerant,
-            "did not converge: w = {w}"
-        );
+        assert!((w - 3.0).abs() < lr_tolerant, "did not converge: w = {w}");
         w
     }
 

@@ -29,7 +29,11 @@ fn main() {
     let mut submitted = 0u64;
     let mut done = 0u64;
     while done < n {
-        while submitted < n && ring.prepare_read(file, (submitted * 512) % file.len, 512, submitted).is_ok() {
+        while submitted < n
+            && ring
+                .prepare_read(file, (submitted * 512) % file.len, 512, submitted)
+                .is_ok()
+        {
             submitted += 1;
         }
         ring.submit();

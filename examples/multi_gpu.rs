@@ -8,9 +8,9 @@
 
 use gnndrive::core::parallel::split_segments;
 use gnndrive::core::{run_data_parallel, ParallelConfig};
+use gnndrive::graph::MiniDataset;
 use gnndrive_bench::scenario::build_gnndrive_workers;
 use gnndrive_bench::{dataset_for, env_knobs, Scenario};
-use gnndrive::graph::MiniDataset;
 
 fn main() {
     let knobs = env_knobs();
@@ -37,5 +37,7 @@ fn main() {
             batches as f64 / report.epoch_wall.as_secs_f64()
         );
     }
-    println!("\nExpected: near-linear gains at 2 workers, diminishing beyond (shared SSD + sync cost).");
+    println!(
+        "\nExpected: near-linear gains at 2 workers, diminishing beyond (shared SSD + sync cost)."
+    );
 }

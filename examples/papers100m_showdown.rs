@@ -6,8 +6,10 @@
 //! cargo run --release --example papers100m_showdown
 //! ```
 
-use gnndrive_bench::{build_system, dataset_for, env_knobs, print_table, Row, Scenario, SystemKind};
 use gnndrive::graph::MiniDataset;
+use gnndrive_bench::{
+    build_system, dataset_for, env_knobs, print_table, Row, Scenario, SystemKind,
+};
 
 fn main() {
     let knobs = env_knobs();
@@ -45,7 +47,14 @@ fn main() {
     }
     print_table(
         "papers100m-mini / GraphSAGE — one (extrapolated) epoch",
-        &["epoch_s", "sample_s", "extract_s", "train_s", "MB_read", "err"],
+        &[
+            "epoch_s",
+            "sample_s",
+            "extract_s",
+            "train_s",
+            "MB_read",
+            "err",
+        ],
         &rows,
     );
     println!("\nExpected ordering (paper Fig 8): GNNDrive-GPU < GNNDrive-CPU < Ginex < PyG+");

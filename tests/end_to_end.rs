@@ -2,9 +2,9 @@
 //! shared substrates, with the paper's qualitative relationships asserted.
 
 use gnndrive::core::TrainingSystem;
-use gnndrive_bench::{build_system, dataset_for, EnvKnobs, Scenario, SystemKind};
 use gnndrive::graph::MiniDataset;
 use gnndrive::nn::ModelKind;
+use gnndrive_bench::{build_system, dataset_for, EnvKnobs, Scenario, SystemKind};
 
 fn knobs() -> EnvKnobs {
     EnvKnobs {
@@ -32,8 +32,8 @@ fn every_system_trains_and_reports() {
         SystemKind::Ginex,
         SystemKind::Marius,
     ] {
-        let mut sys = build_system(kind, &sc, &ds)
-            .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+        let mut sys =
+            build_system(kind, &sc, &ds).unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
         let r = sys.train_epoch(0, Some(6));
         assert!(r.error.is_none(), "{}: {:?}", kind.name(), r.error);
         assert!(r.batches >= 1);
@@ -156,4 +156,112 @@ fn reordering_does_not_change_what_is_learned() {
         "reordering changed convergence: {accs:?}"
     );
     assert!(accs.iter().all(|&a| a > 0.4), "both should learn: {accs:?}");
+}
+
+#[test]
+fn run_report_artifact_covers_all_subsystems() {
+    // The observability acceptance check: one GNNDrive epoch must yield a
+    // JSON run report whose metric series span the storage, core, and
+    // device crates, with per-stage percentiles and a utilization series.
+    use gnndrive::telemetry::{Monitor, RunReport};
+    use gnndrive_bench::{collect_report, scenario_desc, PIPELINE_STAGES};
+    use std::time::Duration;
+
+    let sc = scenario();
+    let ds = dataset_for(&sc);
+    let mut sys = build_system(SystemKind::GnnDriveGpu, &sc, &ds).unwrap();
+    let monitor = Monitor::start(Duration::from_millis(20));
+    let r = sys.train_epoch(0, Some(6));
+    assert!(r.error.is_none(), "{:?}", r.error);
+    let series = monitor.stop();
+
+    let mut report = collect_report("e2e.gnndrive_gpu", &scenario_desc(&sc), series);
+    report.add_scalar("batches", r.batches as f64);
+    let dir = std::env::temp_dir().join(format!("gnndrive-e2e-{}", std::process::id()));
+    let path = report.write_to_dir(&dir).expect("write artifact");
+    let text = std::fs::read_to_string(&path).expect("read artifact");
+    let parsed = RunReport::parse(&text).expect("parse artifact");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let names = parsed.metric_names();
+    assert!(
+        names.len() >= 10,
+        "expected >=10 metric series, got {}: {names:?}",
+        names.len()
+    );
+    let storage = names
+        .iter()
+        .any(|n| n.starts_with("ssd.") || n.starts_with("page_cache."));
+    let core = names
+        .iter()
+        .any(|n| n.starts_with("pipeline.") || n.starts_with("feature_buffer."));
+    let device = names.iter().any(|n| n.starts_with("device."));
+    assert!(
+        storage && core && device,
+        "metrics must span storage/core/device crates: {names:?}"
+    );
+    for stage in PIPELINE_STAGES {
+        let s = parsed
+            .stage(stage)
+            .unwrap_or_else(|| panic!("missing stage {stage}"));
+        assert!(s.count >= 1, "stage {stage} recorded nothing");
+        assert!(
+            s.p50_ns <= s.p95_ns && s.p95_ns <= s.p99_ns && s.p99_ns <= s.max_ns,
+            "stage {stage} percentiles out of order: {s:?}"
+        );
+    }
+    assert!(!parsed.series.is_empty(), "utilization series missing");
+    assert_eq!(
+        parsed.scalars,
+        vec![("batches".to_string(), r.batches as f64)]
+    );
+}
+
+#[test]
+fn pipeline_epoch_exports_valid_chrome_trace() {
+    // One traced epoch must produce spans for all four pipeline stages and
+    // a structurally valid Chrome trace-event document.
+    use gnndrive::telemetry::{export_chrome_trace, trace_disable, trace_enable, trace_take, Json};
+
+    let sc = scenario();
+    let ds = dataset_for(&sc);
+    let mut sys = build_system(SystemKind::GnnDriveGpu, &sc, &ds).unwrap();
+    let _ = trace_take(); // drop spans from any earlier traced activity
+    trace_enable();
+    let r = sys.train_epoch(0, Some(6));
+    trace_disable();
+    assert!(r.error.is_none(), "{:?}", r.error);
+    let spans = trace_take();
+
+    for stage in ["sample", "extract", "train", "release"] {
+        assert!(
+            spans.iter().any(|s| s.stage == stage),
+            "no {stage} span in {} spans",
+            spans.len()
+        );
+    }
+    // trace_take sorts by start; bounds must be monotone and finite.
+    let mut prev = 0u64;
+    for s in &spans {
+        assert!(s.start_ns >= prev, "spans not sorted by start");
+        assert!(s.start_ns.checked_add(s.dur_ns).is_some(), "span overflows");
+        prev = s.start_ns;
+    }
+
+    let text = export_chrome_trace(&spans);
+    let doc = Json::parse(&text).expect("valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    assert_eq!(events.len(), spans.len());
+    for (e, s) in events.iter().zip(&spans) {
+        assert_eq!(e.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(e.get("name").and_then(Json::as_str), Some(s.stage));
+        let ts = e.get("ts").and_then(Json::as_f64).expect("ts");
+        let dur = e.get("dur").and_then(Json::as_f64).expect("dur");
+        assert!(ts >= 0.0 && dur >= 0.0);
+        assert!(e.get("pid").and_then(Json::as_u64).is_some());
+        assert!(e.get("tid").and_then(Json::as_u64).is_some());
+    }
 }
