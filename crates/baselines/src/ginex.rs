@@ -79,6 +79,13 @@ struct Changeset {
     transient: Vec<NodeId>,
 }
 
+/// The Belady planner's working state: cached nodes keyed by next use,
+/// plus the lazy-deletion max-heap ordering evictions farthest-first.
+struct BeladyState {
+    cached: HashMap<NodeId, usize>,
+    heap: BinaryHeap<(usize, NodeId)>,
+}
+
 /// See module docs.
 pub struct Ginex {
     cfg: GinexConfig,
@@ -172,8 +179,8 @@ impl Ginex {
                 .unwrap_or(usize::MAX);
         }
         // Max-heap on next use (lazy deletion).
-        let mut heap: BinaryHeap<(usize, NodeId)> =
-            cached.iter().map(|(&n, &nu)| (nu, n)).collect();
+        let heap: BinaryHeap<(usize, NodeId)> = cached.iter().map(|(&n, &nu)| (nu, n)).collect();
+        let mut belady = BeladyState { cached, heap };
 
         let mut changesets = Vec::with_capacity(samples.len());
         for (b, s) in samples.iter().enumerate() {
@@ -185,32 +192,24 @@ impl Ginex {
                 // stream the rest transiently.
                 let (fit, overflow) = batch_set.split_at(self.feature_cache_slots);
                 cs.transient = overflow.to_vec();
-                self.admit_all(fit, b, &mut cached, &mut heap, &mut cs, &next_use_after);
+                self.admit_all(fit, b, &mut belady, &mut cs, &next_use_after);
             } else {
-                self.admit_all(
-                    &batch_set,
-                    b,
-                    &mut cached,
-                    &mut heap,
-                    &mut cs,
-                    &next_use_after,
-                );
+                self.admit_all(&batch_set, b, &mut belady, &mut cs, &next_use_after);
             }
             changesets.push(cs);
         }
         changesets
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn admit_all(
         &self,
         nodes: &[NodeId],
         b: usize,
-        cached: &mut HashMap<NodeId, usize>,
-        heap: &mut BinaryHeap<(usize, NodeId)>,
+        belady: &mut BeladyState,
         cs: &mut Changeset,
         next_use_after: &dyn Fn(NodeId, usize) -> usize,
     ) {
+        let BeladyState { cached, heap } = belady;
         // Refresh next-use of hits, admit misses.
         for &n in nodes {
             let nu = next_use_after(n, b);
@@ -465,6 +464,7 @@ impl TrainingSystem for Ginex {
             wall: t0.elapsed(),
             batches: processed,
             full_batches,
+            failed_batches: 0,
             loss: (loss_sum / processed.max(1) as f64) as f32,
             sample_secs,
             extract_secs,

@@ -378,6 +378,7 @@ impl TrainingSystem for MariusGnn {
             wall: t0.elapsed(),
             batches: processed,
             full_batches,
+            failed_batches: 0,
             loss: (loss_sum / processed.max(1) as f64) as f32,
             sample_secs,
             extract_secs,

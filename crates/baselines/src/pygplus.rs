@@ -277,6 +277,7 @@ impl TrainingSystem for PygPlus {
             wall: t0.elapsed(),
             batches: processed,
             full_batches,
+            failed_batches: 0,
             loss: (loss_sum / processed.max(1) as f64) as f32,
             sample_secs: sample_nanos.load(Ordering::Relaxed) as f64 / 1e9,
             extract_secs: extract_nanos.load(Ordering::Relaxed) as f64 / 1e9,

@@ -83,7 +83,8 @@ fn bench_ring(c: &mut Criterion) {
             ring.drain(|c| {
                 c.result.unwrap();
                 n += 1;
-            });
+            })
+            .unwrap();
             black_box(n)
         })
     });

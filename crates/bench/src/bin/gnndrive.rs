@@ -4,28 +4,37 @@
 //! gnndrive dataset build --name papers100m-mini [--dim 128] [--scale 1.0] --out DIR
 //! gnndrive train [--name papers100m-mini | --data DIR] [--system gnndrive-gpu]
 //!                [--model sage|gcn|gat] [--epochs 3] [--batch 32]
-//!                [--memory-gb 32] [--max-batches N] [--checkpoint FILE]
+//!                [--memory-gb 32] [--max-batches N]
+//!                [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]
 //! gnndrive systems          # list available systems
 //! ```
+//!
+//! Checkpointing (GNNDrive systems only): `--checkpoint-every N` snapshots
+//! model weights, Adam state, and the epoch/batch cursor to `--checkpoint
+//! FILE` every N trained batches; `--resume FILE` restores a snapshot and
+//! continues the interrupted epoch at the exact batch it stopped before.
 //!
 //! Argument parsing is hand-rolled (the repo keeps its dependency set to
 //! the approved offline crates).
 
 use gnndrive_bench::{
-    build_system, collect_report, dataset_for, env_knobs, scenario_desc, slug, write_report,
-    Scenario, SystemKind,
+    build_gnndrive_pipeline, build_system, collect_report, dataset_for, env_knobs, scenario_desc,
+    slug, write_report, Scenario, SystemKind,
 };
+use gnndrive_core::{TrainCheckpoint, TrainingSystem};
 use gnndrive_graph::{Dataset, MiniDataset};
 use gnndrive_nn::ModelKind;
 use gnndrive_storage::{SimSsd, SsdProfile};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  gnndrive dataset build --name <mini-dataset> [--dim D] [--scale S] --out DIR\n  \
          gnndrive train [--name <mini-dataset> | --data DIR] [--system S] [--model M]\n          \
-         [--epochs N] [--batch B] [--memory-gb G] [--max-batches K] [--checkpoint FILE]\n  \
+         [--epochs N] [--batch B] [--memory-gb G] [--max-batches K]\n          \
+         [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]\n  \
          gnndrive systems"
     );
     std::process::exit(2);
@@ -165,6 +174,29 @@ fn cmd_train(flags: HashMap<String, String>) {
         sc.memory_gb = g.parse().expect("--memory-gb");
     }
 
+    let ck = CheckpointOpts {
+        path: flags.get("checkpoint").map(PathBuf::from),
+        every: flags
+            .get("checkpoint-every")
+            .map(|v| v.parse::<usize>().expect("--checkpoint-every").max(1)),
+        resume: flags.get("resume").map(PathBuf::from),
+    };
+    if ck.requested() {
+        let gpu = match system {
+            SystemKind::GnnDriveGpu => true,
+            SystemKind::GnnDriveCpu => false,
+            other => {
+                eprintln!(
+                    "--checkpoint/--checkpoint-every/--resume need a GNNDrive system \
+                     (got {}): only the Pipeline API exposes training state.",
+                    other.name()
+                );
+                std::process::exit(2);
+            }
+        };
+        return train_checkpointed(&sc, &ds, gpu, epochs, max_batches, ck);
+    }
+
     let mut sys = match build_system(system, &sc, &ds) {
         Ok(s) => s,
         Err(e) => {
@@ -215,9 +247,171 @@ fn cmd_train(flags: HashMap<String, String>) {
     report.add_scalar("final_loss", last_loss);
     report.add_scalar("val_acc", sys.evaluate());
     write_report(&report);
-    if flags.contains_key("checkpoint") {
-        eprintln!("note: --checkpoint requires the library API (Pipeline::model_mut().save()); the CLI trains behind the TrainingSystem trait which does not expose weights.");
+}
+
+/// The CLI's fault-tolerance knobs.
+struct CheckpointOpts {
+    /// Where snapshots land (`--checkpoint`; defaults to the resume path,
+    /// then to `gnndrive.gnck`).
+    path: Option<PathBuf>,
+    /// Snapshot cadence in trained batches (`--checkpoint-every`).
+    every: Option<usize>,
+    /// Snapshot to restore before training (`--resume`).
+    resume: Option<PathBuf>,
+}
+
+impl CheckpointOpts {
+    fn requested(&self) -> bool {
+        self.path.is_some() || self.every.is_some() || self.resume.is_some()
     }
+
+    fn save_path(&self) -> PathBuf {
+        self.path
+            .clone()
+            .or_else(|| self.resume.clone())
+            .unwrap_or_else(|| PathBuf::from("gnndrive.gnck"))
+    }
+}
+
+/// Train a concrete GNNDrive [`gnndrive_core::Pipeline`] with periodic
+/// checkpoints and/or an initial restore. Epochs run as chunks of
+/// `--checkpoint-every` batches through `train_epoch_range`, snapshotting
+/// the cursor after each chunk; a resumed run picks the interrupted epoch
+/// back up at the exact batch the snapshot recorded.
+fn train_checkpointed(
+    sc: &Scenario,
+    ds: &Arc<Dataset>,
+    gpu: bool,
+    epochs: u64,
+    max_batches: Option<usize>,
+    ck: CheckpointOpts,
+) {
+    let mut p = match build_gnndrive_pipeline(sc, ds, gpu) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("failed to build pipeline: {e}");
+            std::process::exit(1);
+        }
+    };
+    let save_path = ck.save_path();
+    let (mut epoch, mut cursor) = (0u64, 0usize);
+    if let Some(resume) = &ck.resume {
+        match TrainCheckpoint::load_file(resume) {
+            Ok(snap) => {
+                if let Err(e) = p.restore(&snap) {
+                    eprintln!("resume {}: {e}", resume.display());
+                    std::process::exit(1);
+                }
+                epoch = snap.epoch;
+                cursor = snap.next_batch as usize;
+                println!(
+                    "resumed from {} at epoch {epoch}, batch {cursor}",
+                    resume.display()
+                );
+            }
+            Err(e) => {
+                eprintln!("resume {}: {e}", resume.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    println!(
+        "training GNNDrive-{} / {} on {} (budget {} MiB, batch {})",
+        if gpu { "GPU" } else { "CPU" },
+        sc.model.name(),
+        ds.spec.name,
+        sc.budget_bytes() / (1024 * 1024),
+        sc.batch_size
+    );
+    println!("epoch -1: val acc {:.1}%", p.evaluate() * 100.0);
+    let monitor = gnndrive_telemetry::Monitor::start(std::time::Duration::from_millis(100));
+    let t0 = std::time::Instant::now();
+    let mut last_loss = 0.0f64;
+    let mut total_batches = 0usize;
+    let mut snapshots = 0usize;
+    while epoch < epochs {
+        let limit = max_batches.unwrap_or(usize::MAX);
+        let mut wall = std::time::Duration::ZERO;
+        let (mut ran, mut failed, mut loss_sum) = (0usize, 0usize, 0.0f64);
+        loop {
+            let room = limit.saturating_sub(cursor);
+            let take = ck.every.map_or(room, |n| n.min(room));
+            if take == 0 {
+                break;
+            }
+            let r = p.train_epoch_range(epoch, cursor, Some(take)).report;
+            if let Some(err) = &r.error {
+                eprintln!("epoch {epoch} aborted at batch {cursor}: {err}");
+                std::process::exit(1);
+            }
+            let chunk = r.batches + r.failed_batches;
+            if chunk == 0 {
+                break; // past the end of the epoch's plan
+            }
+            cursor += chunk;
+            ran += r.batches;
+            failed += r.failed_batches;
+            loss_sum += r.loss as f64 * r.batches as f64;
+            wall += r.wall;
+            if ck.every.is_some() {
+                let done = cursor >= r.full_batches || cursor >= limit;
+                let (e, b) = if done {
+                    (epoch + 1, 0)
+                } else {
+                    (epoch, cursor)
+                };
+                if let Err(err) = p.checkpoint(e, b as u64).save_file(&save_path) {
+                    eprintln!("checkpoint {}: {err}", save_path.display());
+                    std::process::exit(1);
+                }
+                snapshots += 1;
+            }
+        }
+        let loss = loss_sum / ran.max(1) as f64;
+        let failed_note = if failed > 0 {
+            format!(", {failed} skipped")
+        } else {
+            String::new()
+        };
+        println!(
+            "epoch {epoch}: {ran} batches{failed_note}, wall {wall:.2?}, loss {loss:.3}, val acc {:.1}%",
+            p.evaluate() * 100.0
+        );
+        last_loss = loss;
+        total_batches += ran;
+        epoch += 1;
+        cursor = 0;
+    }
+    if ck.requested() {
+        if let Err(err) = p.checkpoint(epochs, 0).save_file(&save_path) {
+            eprintln!("checkpoint {}: {err}", save_path.display());
+            std::process::exit(1);
+        }
+        snapshots += 1;
+        println!(
+            "checkpoint ({snapshots} snapshots) -> {}",
+            save_path.display()
+        );
+    }
+
+    let wall = t0.elapsed();
+    let series = monitor.stop();
+    let mut report = collect_report(
+        &format!(
+            "train.{}",
+            slug(&format!("GNNDrive-{}", if gpu { "GPU" } else { "CPU" }))
+        ),
+        &scenario_desc(sc),
+        series,
+    );
+    report.add_scalar("epochs", epochs as f64);
+    report.add_scalar("batches", total_batches as f64);
+    report.add_scalar("checkpoints", snapshots as f64);
+    report.add_scalar("wall_secs", wall.as_secs_f64());
+    report.add_scalar("final_loss", last_loss);
+    report.add_scalar("val_acc", p.evaluate());
+    write_report(&report);
 }
 
 fn main() {

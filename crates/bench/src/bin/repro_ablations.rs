@@ -40,17 +40,13 @@ fn run(
         ..Default::default()
     };
     mutate(&mut cfg);
-    let mut p = Pipeline::new(
-        ds,
-        sc.model,
-        sc.hidden,
-        cfg,
-        GpuDevice::rtx3090(),
-        true,
-        governor,
-        cache,
-    )
-    .map_err(|e| e.to_string())?;
+    let mut p = Pipeline::builder(ds, GpuDevice::rtx3090())
+        .model(sc.model, sc.hidden)
+        .config(cfg)
+        .governor(governor)
+        .page_cache(cache)
+        .build()
+        .map_err(|e| e.to_string())?;
     let r = p.train_epoch(0, knobs.max_batches);
     match r.error {
         Some(e) => Err(e),

@@ -99,7 +99,7 @@ fn run_async(
     }
     ring.submit();
     while Instant::now() < stop {
-        let Some(c) = ring.wait_completion() else {
+        let Ok(Some(c)) = ring.wait_completion() else {
             break;
         };
         ops += 1;
@@ -107,7 +107,7 @@ fn run_async(
         prepare(&mut ring, &mut rng);
         ring.submit();
     }
-    ring.drain(|_| {});
+    ring.drain(|_| {}).expect("drain benchmark ring");
     let secs = RUN_MS as f64 / 1e3;
     (
         ops.max(1) as f64 * 512.0 / 1e6 / secs,

@@ -30,6 +30,6 @@ pub use artifacts::{
 };
 pub use report::{print_series, print_table, Row};
 pub use scenario::{
-    build_system, dataset_for, env_knobs, feature_buffer_slots_for, worst_case_batch_nodes,
-    EnvKnobs, Scenario, SystemKind,
+    build_gnndrive_pipeline, build_system, dataset_for, env_knobs, feature_buffer_slots_for,
+    worst_case_batch_nodes, EnvKnobs, Scenario, SystemKind,
 };

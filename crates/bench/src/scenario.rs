@@ -170,46 +170,7 @@ pub fn build_system(
     match kind {
         SystemKind::GnnDriveGpu | SystemKind::GnnDriveCpu => {
             let gpu = kind == SystemKind::GnnDriveGpu;
-            let device = if gpu {
-                GpuDevice::rtx3090()
-            } else {
-                GpuDevice::cpu()
-            };
-            // Feature buffer ≈ 4 batches of worst-case unique nodes, the
-            // paper's ~2.38 GB default at reproduction scale; staging is a
-            // small bounded region (the point of the design). CPU mode
-            // holds the buffer in host memory, so it runs 2 extractors and
-            // a smaller buffer to respect the Ne × Mb reservation within
-            // the host budget (§4.4).
-            let extractors = if gpu { 4 } else { 2 };
-            let slots = sc
-                .fb_slots_override
-                .unwrap_or_else(|| feature_buffer_slots_for(sc, extractors));
-            // The staging buffer is deliberately small (its bound is the
-            // design, §4.2); at reduced scales it shrinks with the budget.
-            let staging = (sc.budget_bytes() / 32).clamp(64 * 1024, 1024 * 1024);
-            let cfg = GnnDriveConfig {
-                num_samplers: 4,
-                num_extractors: extractors,
-                feature_buffer_slots: slots,
-                staging_bytes_per_extractor: staging,
-                fanouts: sc.fanouts.clone(),
-                batch_size: sc.batch_size,
-                seed,
-                ..Default::default()
-            };
-            Pipeline::new(
-                Arc::clone(ds),
-                sc.model,
-                sc.hidden,
-                cfg,
-                device,
-                gpu,
-                governor,
-                cache,
-            )
-            .map(|p| Box::new(p) as Box<dyn TrainingSystem>)
-            .map_err(|e| e.to_string())
+            build_gnndrive_pipeline(sc, ds, gpu).map(|p| Box::new(p) as Box<dyn TrainingSystem>)
         }
         SystemKind::PygPlus => {
             let cfg = PygPlusConfig {
@@ -283,6 +244,58 @@ pub fn build_system(
     }
 }
 
+/// Construct a concrete GNNDrive [`Pipeline`] for a scenario — the same
+/// configuration [`build_system`] uses, but returning the concrete type so
+/// callers reach the checkpoint/resume API
+/// ([`Pipeline::checkpoint`] / [`Pipeline::restore`] /
+/// [`Pipeline::train_epoch_range`]) the `TrainingSystem` trait does not
+/// expose.
+pub fn build_gnndrive_pipeline(
+    sc: &Scenario,
+    ds: &Arc<Dataset>,
+    gpu: bool,
+) -> Result<Pipeline, String> {
+    let governor = MemoryGovernor::new(sc.budget_bytes());
+    let cache = PageCache::new(Arc::clone(&ds.ssd), Arc::clone(&governor));
+    let seed = 0x5EED ^ sc.dataset.spec().seed;
+    let device = if gpu {
+        GpuDevice::rtx3090()
+    } else {
+        GpuDevice::cpu()
+    };
+    // Feature buffer ≈ 4 batches of worst-case unique nodes, the
+    // paper's ~2.38 GB default at reproduction scale; staging is a
+    // small bounded region (the point of the design). CPU mode
+    // holds the buffer in host memory, so it runs 2 extractors and
+    // a smaller buffer to respect the Ne × Mb reservation within
+    // the host budget (§4.4).
+    let extractors = if gpu { 4 } else { 2 };
+    let slots = sc
+        .fb_slots_override
+        .unwrap_or_else(|| feature_buffer_slots_for(sc, extractors));
+    // The staging buffer is deliberately small (its bound is the
+    // design, §4.2); at reduced scales it shrinks with the budget.
+    let staging = (sc.budget_bytes() / 32).clamp(64 * 1024, 1024 * 1024);
+    let cfg = GnnDriveConfig {
+        num_samplers: 4,
+        num_extractors: extractors,
+        feature_buffer_slots: slots,
+        staging_bytes_per_extractor: staging,
+        fanouts: sc.fanouts.clone(),
+        batch_size: sc.batch_size,
+        seed,
+        ..Default::default()
+    };
+    Pipeline::builder(Arc::clone(ds), device)
+        .model(sc.model, sc.hidden)
+        .config(cfg)
+        .gpu_mode(gpu)
+        .governor(governor)
+        .page_cache(cache)
+        .build()
+        .map_err(|e| e.to_string())
+}
+
 /// Build `workers` identical GNNDrive pipelines for data-parallel training
 /// (Fig 13). Each worker gets its own device; topology page cache and the
 /// host governor are shared, as in the paper's multi-subprocess setup.
@@ -314,17 +327,14 @@ pub fn build_gnndrive_workers(
             seed,
             ..Default::default()
         };
-        let p = Pipeline::new(
-            Arc::clone(ds),
-            sc.model,
-            sc.hidden,
-            cfg,
-            device,
-            gpu,
-            Arc::clone(&governor),
-            Arc::clone(&cache),
-        )
-        .map_err(|e| e.to_string())?;
+        let p = Pipeline::builder(Arc::clone(ds), device)
+            .model(sc.model, sc.hidden)
+            .config(cfg)
+            .gpu_mode(gpu)
+            .governor(Arc::clone(&governor))
+            .page_cache(Arc::clone(&cache))
+            .build()
+            .map_err(|e| e.to_string())?;
         out.push(p);
     }
     Ok(out)

@@ -1,0 +1,105 @@
+//! Fluent construction of a [`Pipeline`].
+//!
+//! Replaces the old eight-positional-argument constructor: every knob has
+//! a sensible default, call sites name only what they change, and the
+//! result carries the crate-wide [`Error`] so construction failures chain
+//! into the same handling as runtime ones.
+//!
+//! ```
+//! use gnndrive_core::Pipeline;
+//! use gnndrive_device::GpuDevice;
+//! use gnndrive_graph::{Dataset, DatasetSpec};
+//! use gnndrive_storage::{SimSsd, SsdProfile};
+//! use std::sync::Arc;
+//!
+//! let ds = Arc::new(Dataset::build(
+//!     DatasetSpec {
+//!         name: "b".into(), num_nodes: 300, num_edges: 1500, feat_dim: 8,
+//!         num_classes: 3, intra_prob: 0.8, feature_signal: 1.0,
+//!         train_fraction: 0.3, seed: 2,
+//!     },
+//!     SimSsd::new(SsdProfile::instant()),
+//! ));
+//! let pipeline = Pipeline::builder(ds, GpuDevice::rtx3090())
+//!     .model(gnndrive_nn::ModelKind::GraphSage, 8)
+//!     .build()
+//!     .unwrap();
+//! ```
+
+use crate::config::GnnDriveConfig;
+use crate::error::Error;
+use crate::pipeline::Pipeline;
+use gnndrive_device::GpuDevice;
+use gnndrive_graph::Dataset;
+use gnndrive_nn::ModelKind;
+use gnndrive_storage::{MemoryGovernor, PageCache};
+use std::sync::Arc;
+
+/// Builder for [`Pipeline`]; obtained from [`Pipeline::builder`].
+///
+/// Defaults: GraphSAGE with 16 hidden units, [`GnnDriveConfig::default`],
+/// GPU mode, an unlimited [`MemoryGovernor`], and a [`PageCache`] created
+/// over the dataset's SSD under that governor.
+pub struct PipelineBuilder {
+    pub(crate) ds: Arc<Dataset>,
+    pub(crate) device: Arc<GpuDevice>,
+    pub(crate) model_kind: ModelKind,
+    pub(crate) hidden: usize,
+    pub(crate) cfg: GnnDriveConfig,
+    pub(crate) gpu_mode: bool,
+    pub(crate) governor: Option<Arc<MemoryGovernor>>,
+    pub(crate) page_cache: Option<Arc<PageCache>>,
+}
+
+impl PipelineBuilder {
+    pub(crate) fn new(ds: Arc<Dataset>, device: Arc<GpuDevice>) -> Self {
+        PipelineBuilder {
+            ds,
+            device,
+            model_kind: ModelKind::GraphSage,
+            hidden: 16,
+            cfg: GnnDriveConfig::default(),
+            gpu_mode: true,
+            governor: None,
+            page_cache: None,
+        }
+    }
+
+    /// Model architecture and hidden width.
+    pub fn model(mut self, kind: ModelKind, hidden: usize) -> Self {
+        self.model_kind = kind;
+        self.hidden = hidden;
+        self
+    }
+
+    /// Pipeline tunables (queue shapes, fanouts, I/O mode, retry policy …).
+    pub fn config(mut self, cfg: GnnDriveConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// GPU-based (`true`, default) or the paper's CPU-based architecture.
+    pub fn gpu_mode(mut self, gpu: bool) -> Self {
+        self.gpu_mode = gpu;
+        self
+    }
+
+    /// Host memory governor charged for resident metadata, staging, and
+    /// (in CPU mode) the feature buffer. Default: unlimited.
+    pub fn governor(mut self, governor: Arc<MemoryGovernor>) -> Self {
+        self.governor = Some(governor);
+        self
+    }
+
+    /// Page cache backing topology (index-array) reads. Default: a fresh
+    /// cache over the dataset's SSD under the builder's governor.
+    pub fn page_cache(mut self, cache: Arc<PageCache>) -> Self {
+        self.page_cache = Some(cache);
+        self
+    }
+
+    /// Wire the pipeline, charging host and device memory.
+    pub fn build(self) -> Result<Pipeline, Error> {
+        Pipeline::from_builder(self).map_err(Error::Build)
+    }
+}

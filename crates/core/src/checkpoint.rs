@@ -1,0 +1,178 @@
+//! Checkpoint/resume for fault-tolerant training.
+//!
+//! A [`TrainCheckpoint`] freezes everything a resumed run needs to
+//! continue the exact training trajectory: the model weight blob
+//! ([`gnndrive_nn::GnnModel::save`]), the Adam state blob
+//! ([`gnndrive_tensor::Adam::save`] — step count and both moment vectors),
+//! and the epoch/batch cursor. Blobs round-trip through a self-describing
+//! `GNCK` container that can live on the simulated SSD (written through
+//! the storage stack, so checkpoint I/O is subject to the same timing and
+//! fault model as training I/O) or on the host filesystem (the CLI's
+//! `--checkpoint-every` / `--resume` path).
+
+use crate::error::Error;
+use gnndrive_storage::{FileHandle, SimSsd};
+use std::path::Path;
+use std::sync::Arc;
+
+const CHECKPOINT_MAGIC: [u8; 4] = *b"GNCK";
+const CHECKPOINT_VERSION: u8 = 1;
+/// magic + version + epoch + next_batch + two blob lengths.
+const HEADER_LEN: usize = 4 + 1 + 8 + 8 + 8 + 8;
+
+/// A frozen training state: resume point plus model and optimizer blobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrainCheckpoint {
+    /// Epoch the resumed run continues in.
+    pub epoch: u64,
+    /// First batch of that epoch still to be trained
+    /// (see [`Pipeline::train_epoch_range`](crate::Pipeline::train_epoch_range)).
+    pub next_batch: u64,
+    /// [`gnndrive_nn::GnnModel::save`] blob.
+    pub model: Vec<u8>,
+    /// [`gnndrive_tensor::Adam::save`] blob.
+    pub optimizer: Vec<u8>,
+}
+
+impl TrainCheckpoint {
+    /// Serialize into the `GNCK` container format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.model.len() + self.optimizer.len());
+        out.extend_from_slice(&CHECKPOINT_MAGIC);
+        out.push(CHECKPOINT_VERSION);
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.next_batch.to_le_bytes());
+        out.extend_from_slice(&(self.model.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.optimizer.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.model);
+        out.extend_from_slice(&self.optimizer);
+        out
+    }
+
+    /// Parse a [`TrainCheckpoint::to_bytes`] container.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, Error> {
+        let bad = |msg: &str| Error::Checkpoint(msg.into());
+        if bytes.len() < HEADER_LEN || bytes[0..4] != CHECKPOINT_MAGIC {
+            return Err(bad("not a GNNDrive training checkpoint"));
+        }
+        if bytes[4] != CHECKPOINT_VERSION {
+            return Err(Error::Checkpoint(format!(
+                "unsupported checkpoint version {}",
+                bytes[4]
+            )));
+        }
+        let rd = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
+        let (epoch, next_batch) = (rd(5), rd(13));
+        let model_len = rd(21) as usize;
+        let opt_len = rd(29) as usize;
+        let need = HEADER_LEN
+            .checked_add(model_len)
+            .and_then(|n| n.checked_add(opt_len))
+            .ok_or_else(|| bad("corrupt checkpoint lengths"))?;
+        if bytes.len() != need {
+            return Err(bad("truncated or oversized checkpoint"));
+        }
+        let model = bytes[HEADER_LEN..HEADER_LEN + model_len].to_vec();
+        let optimizer = bytes[HEADER_LEN + model_len..need].to_vec();
+        Ok(TrainCheckpoint {
+            epoch,
+            next_batch,
+            model,
+            optimizer,
+        })
+    }
+
+    /// Persist through the storage stack: allocate a file on `ssd` and
+    /// write an 8-byte length header plus the container with buffered
+    /// blocking writes (so checkpointing pays the device's modeled cost
+    /// and is exposed to its fault plan like any other I/O).
+    pub fn write_to_ssd(&self, ssd: &Arc<SimSsd>) -> Result<FileHandle, Error> {
+        let blob = self.to_bytes();
+        let file = ssd.create_file(8 + blob.len() as u64);
+        ssd.write_blocking(file, 0, &(blob.len() as u64).to_le_bytes(), false)
+            .map_err(Error::Io)?;
+        ssd.write_blocking(file, 8, &blob, false)
+            .map_err(Error::Io)?;
+        Ok(file)
+    }
+
+    /// Read back a [`TrainCheckpoint::write_to_ssd`] file.
+    pub fn read_from_ssd(ssd: &Arc<SimSsd>, file: FileHandle) -> Result<Self, Error> {
+        let mut len = [0u8; 8];
+        ssd.read_blocking(file, 0, &mut len, false)
+            .map_err(Error::Io)?;
+        let len = u64::from_le_bytes(len);
+        if len.saturating_add(8) > file.len {
+            return Err(Error::Checkpoint("corrupt checkpoint length".into()));
+        }
+        let mut blob = vec![0u8; len as usize];
+        ssd.read_blocking(file, 8, &mut blob, false)
+            .map_err(Error::Io)?;
+        Self::from_bytes(&blob)
+    }
+
+    /// Write the container to a host filesystem path (the CLI's
+    /// `--checkpoint-every` output).
+    pub fn save_file(&self, path: &Path) -> Result<(), Error> {
+        std::fs::write(path, self.to_bytes())
+            .map_err(|e| Error::Checkpoint(format!("write {}: {e}", path.display())))
+    }
+
+    /// Load a [`TrainCheckpoint::save_file`] checkpoint (`--resume`).
+    pub fn load_file(path: &Path) -> Result<Self, Error> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| Error::Checkpoint(format!("read {}: {e}", path.display())))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnndrive_storage::SsdProfile;
+
+    fn sample() -> TrainCheckpoint {
+        TrainCheckpoint {
+            epoch: 3,
+            next_batch: 17,
+            model: vec![1, 2, 3, 4, 5],
+            optimizer: vec![9, 8, 7],
+        }
+    }
+
+    #[test]
+    fn container_round_trips() {
+        let ck = sample();
+        assert_eq!(TrainCheckpoint::from_bytes(&ck.to_bytes()).unwrap(), ck);
+    }
+
+    #[test]
+    fn malformed_containers_are_rejected() {
+        assert!(TrainCheckpoint::from_bytes(b"nope").is_err());
+        let mut bytes = sample().to_bytes();
+        bytes.push(0);
+        assert!(TrainCheckpoint::from_bytes(&bytes).is_err());
+        let mut wrong_ver = sample().to_bytes();
+        wrong_ver[4] = 99;
+        assert!(TrainCheckpoint::from_bytes(&wrong_ver).is_err());
+    }
+
+    #[test]
+    fn ssd_round_trip_through_storage_stack() {
+        let ssd = SimSsd::new(SsdProfile::instant());
+        let ck = sample();
+        let file = ck.write_to_ssd(&ssd).unwrap();
+        assert_eq!(TrainCheckpoint::read_from_ssd(&ssd, file).unwrap(), ck);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("gnndrive-ck-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ck.gnck");
+        let ck = sample();
+        ck.save_file(&path).unwrap();
+        assert_eq!(TrainCheckpoint::load_file(&path).unwrap(), ck);
+        std::fs::remove_file(&path).ok();
+    }
+}

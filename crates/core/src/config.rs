@@ -1,5 +1,6 @@
 //! GNNDrive configuration.
 
+use gnndrive_storage::RetryPolicy;
 use std::time::Duration;
 
 /// Tunables of a GNNDrive pipeline. Defaults follow the paper's evaluation
@@ -47,6 +48,10 @@ pub struct GnnDriveConfig {
     pub sync_extract: bool,
     /// RNG seed for sampling.
     pub seed: u64,
+    /// Fault-recovery policy for storage reads: attempt budget, exponential
+    /// backoff, and the per-wait deadline on the async ring. Shared by the
+    /// extractors and (via the builder) the page cache.
+    pub retry: RetryPolicy,
     /// Safety valve: if an extractor waits longer than this for a standby
     /// slot, the feature buffer is undersized for the workload — fail loud
     /// rather than deadlock silently.
@@ -71,6 +76,7 @@ impl Default for GnnDriveConfig {
             ring_depth: 64,
             max_joint_read_bytes: 16 * 1024,
             seed: 7,
+            retry: RetryPolicy::default(),
             slot_wait_timeout: Duration::from_secs(20),
         }
     }

@@ -25,7 +25,7 @@ use crate::staging::{StagingBuffer, StagingLease};
 use gnndrive_device::{FeatureSlab, TransferEngine};
 use gnndrive_graph::NodeId;
 use gnndrive_sampling::MiniBatchSample;
-use gnndrive_storage::{FileHandle, IoError, IoRing, SimSsd, SECTOR_SIZE};
+use gnndrive_storage::{FileHandle, IoError, IoRing, RetryPolicy, SimSsd, SECTOR_SIZE};
 use gnndrive_telemetry as telemetry;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -48,6 +48,11 @@ pub struct ExtractorContext {
     pub sync_extract: bool,
     pub ring_depth: usize,
     pub max_joint_read_bytes: usize,
+    /// Recovery policy for feature reads: bounded retries with exponential
+    /// backoff on transient faults, and a per-wait deadline on the async
+    /// ring so a stalled device surfaces as [`IoError::Timeout`] instead of
+    /// parking the extractor forever.
+    pub retry: RetryPolicy,
 }
 
 /// Why an extraction failed.
@@ -71,7 +76,14 @@ impl std::fmt::Display for ExtractError {
     }
 }
 
-impl std::error::Error for ExtractError {}
+impl std::error::Error for ExtractError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExtractError::Io(e) => Some(e),
+            ExtractError::DependencyAborted(_) => None,
+        }
+    }
+}
 
 impl From<IoError> for ExtractError {
     fn from(e: IoError) -> Self {
@@ -149,22 +161,19 @@ fn row_from_window(buf: &[u8], window_start: u64, node: NodeId, row_bytes: u64) 
         .collect()
 }
 
-/// Blocking read with up to three attempts (media-retry recovery).
-fn read_with_retries(
-    ssd: &SimSsd,
-    file: FileHandle,
-    offset: u64,
-    buf: &mut [u8],
-    direct: bool,
-) -> Result<(), IoError> {
-    let mut last = None;
-    for _ in 0..3 {
-        match ssd.read_blocking(file, offset, buf, direct) {
-            Ok(()) => return Ok(()),
-            Err(e) => last = Some(e),
-        }
-    }
-    Err(last.expect("at least one attempt"))
+/// Blocking feature read under the context's [`RetryPolicy`]: transient
+/// faults are retried with exponential backoff (counted in
+/// `core.extract.retries`) until the policy's attempt budget runs out.
+fn read_with_retries(ctx: &ExtractorContext, offset: u64, buf: &mut [u8]) -> Result<(), IoError> {
+    let retries = telemetry::counter("core.extract.retries");
+    let direct = ctx.direct_io || ctx.gpu_direct;
+    ctx.retry.run(
+        || retries.inc(),
+        |_| {
+            ctx.ssd
+                .read_blocking(ctx.features_file, offset, buf, direct)
+        },
+    )
 }
 
 /// Run Algorithm 1 for one sampled mini-batch. Returns the extracted batch
@@ -221,13 +230,7 @@ pub fn extract_batch(
                 .as_ref()
                 .map(|s| s.acquire(group.window_len as u64));
             buf.resize(group.window_len, 0);
-            if let Err(e) = read_with_retries(
-                &ctx.ssd,
-                ctx.features_file,
-                group.window_start,
-                &mut buf,
-                ctx.direct_io || ctx.gpu_direct,
-            ) {
+            if let Err(e) = read_with_retries(ctx, group.window_start, &mut buf) {
                 ctx.fb.abort_batch(&plan, &sample.input_nodes);
                 return Err(e.into());
             }
@@ -271,13 +274,7 @@ pub fn extract_batch(
                 Ok(b) => b,
                 Err(_) => {
                     let mut retry = vec![0u8; group.window_len];
-                    read_with_retries(
-                        &ctx.ssd,
-                        ctx.features_file,
-                        group.window_start,
-                        &mut retry,
-                        ctx.direct_io || ctx.gpu_direct,
-                    )?;
+                    read_with_retries(ctx, group.window_start, &mut retry)?;
                     retry
                 }
             };
@@ -323,10 +320,17 @@ pub fn extract_batch(
                     break Some(Arc::new(staging.acquire(group.window_len as u64)));
                 }
                 ring.submit();
-                if let Some(c) = ring.wait_completion() {
-                    if let Err(e) =
-                        handle_load_completion(c, &mut pending_groups, &mut inflight_transfers)
-                    {
+                match ring.wait_completion_deadline(Some(ctx.retry.deadline())) {
+                    Ok(Some(c)) => {
+                        if let Err(e) =
+                            handle_load_completion(c, &mut pending_groups, &mut inflight_transfers)
+                        {
+                            ctx.fb.abort_batch(&plan, &sample.input_nodes);
+                            return Err(e.into());
+                        }
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
                         ctx.fb.abort_batch(&plan, &sample.input_nodes);
                         return Err(e.into());
                     }
@@ -343,10 +347,19 @@ pub fn extract_batch(
                 Ok(()) => break,
                 Err(IoError::RingFull) => {
                     ring.submit();
-                    if let Some(c) = ring.wait_completion() {
-                        if let Err(e) =
-                            handle_load_completion(c, &mut pending_groups, &mut inflight_transfers)
-                        {
+                    match ring.wait_completion_deadline(Some(ctx.retry.deadline())) {
+                        Ok(Some(c)) => {
+                            if let Err(e) = handle_load_completion(
+                                c,
+                                &mut pending_groups,
+                                &mut inflight_transfers,
+                            ) {
+                                ctx.fb.abort_batch(&plan, &sample.input_nodes);
+                                return Err(e.into());
+                            }
+                        }
+                        Ok(None) => {}
+                        Err(e) => {
                             ctx.fb.abort_batch(&plan, &sample.input_nodes);
                             return Err(e.into());
                         }
@@ -376,10 +389,21 @@ pub fn extract_batch(
     }
     // Wait for the remaining loads.
     ring.submit();
-    while let Some(c) = ring.wait_completion() {
-        if let Err(e) = handle_load_completion(c, &mut pending_groups, &mut inflight_transfers) {
-            ctx.fb.abort_batch(&plan, &sample.input_nodes);
-            return Err(e.into());
+    loop {
+        match ring.wait_completion_deadline(Some(ctx.retry.deadline())) {
+            Ok(Some(c)) => {
+                if let Err(e) =
+                    handle_load_completion(c, &mut pending_groups, &mut inflight_transfers)
+                {
+                    ctx.fb.abort_batch(&plan, &sample.input_nodes);
+                    return Err(e.into());
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                ctx.fb.abort_batch(&plan, &sample.input_nodes);
+                return Err(e.into());
+            }
         }
     }
     debug_assert!(pending_groups.is_empty(), "all groups must complete");
@@ -464,6 +488,7 @@ mod tests {
             sync_extract: false,
             ring_depth: 16,
             max_joint_read_bytes: 8192,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -566,6 +591,67 @@ mod tests {
         ctx.sync_extract = true;
         let sample = sample_of(&ds, &[9, 10, 11]);
         let batch = extract_batch(&ctx, sample).unwrap();
+        verify_rows(&ds, &batch, &ctx.fb);
+        ctx.fb.check_invariants();
+    }
+
+    #[test]
+    fn retry_exhaustion_surfaces_typed_error_and_counts_retries() {
+        use gnndrive_storage::FaultPlan;
+        let ds = tiny_dataset(128);
+        let mut ctx = context(&ds, true, true);
+        // Every read on the features file fails; two attempts then give up.
+        ctx.retry = RetryPolicy::default()
+            .with_max_attempts(2)
+            .with_backoff(std::time::Duration::ZERO, std::time::Duration::ZERO);
+        ds.ssd.set_fault_plan(
+            FaultPlan::new(11)
+                .with_read_fault_prob(1.0)
+                .on_file(ds.features_file.id),
+        );
+        let retries_before = telemetry::counter("core.extract.retries").get();
+        let faults_before = telemetry::counter("storage.faults").get();
+        let err = match extract_batch(&ctx, sample_of(&ds, &[1, 2, 3])) {
+            Err(e) => e,
+            Ok(_) => panic!("extraction must fail under a total fault storm"),
+        };
+        ds.ssd.clear_faults();
+        assert!(
+            matches!(err, ExtractError::Io(IoError::DeviceFault { .. })),
+            "expected a typed device fault, got {err}"
+        );
+        assert!(
+            telemetry::counter("core.extract.retries").get() > retries_before,
+            "retry attempts must be counted"
+        );
+        assert!(
+            telemetry::counter("storage.faults").get() > faults_before,
+            "injected faults must be counted"
+        );
+        // The buffer must be consistent after the aborted batch.
+        ctx.fb.check_invariants();
+        // Device healthy again: the same extraction now succeeds.
+        let batch = extract_batch(&ctx, sample_of(&ds, &[1, 2, 3])).unwrap();
+        verify_rows(&ds, &batch, &ctx.fb);
+    }
+
+    #[test]
+    fn transient_faults_recover_within_retry_budget() {
+        use gnndrive_storage::FaultPlan;
+        let ds = tiny_dataset(128);
+        let mut ctx = context(&ds, true, true);
+        ctx.retry = RetryPolicy::default()
+            .with_max_attempts(6)
+            .with_backoff(std::time::Duration::ZERO, std::time::Duration::ZERO);
+        // Half the targeted reads fault; six attempts make recovery all but
+        // certain for every group (deterministic given the seed).
+        ds.ssd.set_fault_plan(
+            FaultPlan::new(3)
+                .with_read_fault_prob(0.5)
+                .on_file(ds.features_file.id),
+        );
+        let batch = extract_batch(&ctx, sample_of(&ds, &[4, 5, 6, 7])).unwrap();
+        ds.ssd.clear_faults();
         verify_rows(&ds, &batch, &ctx.fb);
         ctx.fb.check_invariants();
     }

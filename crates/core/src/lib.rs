@@ -47,15 +47,22 @@
 //!     fanouts: vec![3, 3], batch_size: 30, feature_buffer_slots: 2048,
 //!     ..Default::default()
 //! };
-//! let mut pipeline = Pipeline::new(
-//!     ds, ModelKind::GraphSage, 8, cfg, GpuDevice::rtx3090(), true, gov, cache,
-//! ).unwrap();
+//! let mut pipeline = Pipeline::builder(ds, GpuDevice::rtx3090())
+//!     .model(ModelKind::GraphSage, 8)
+//!     .config(cfg)
+//!     .governor(gov)
+//!     .page_cache(cache)
+//!     .build()
+//!     .unwrap();
 //! let report = pipeline.train_epoch(0, Some(2));
 //! assert_eq!(report.batches, 2);
 //! assert!(report.loss.is_finite());
 //! ```
 
+pub mod builder;
+pub mod checkpoint;
 pub mod config;
+pub mod error;
 pub mod extractor;
 pub mod feature_buffer;
 pub mod parallel;
@@ -63,10 +70,13 @@ pub mod pipeline;
 pub mod staging;
 pub mod system;
 
+pub use builder::PipelineBuilder;
+pub use checkpoint::TrainCheckpoint;
 pub use config::GnnDriveConfig;
+pub use error::Error;
 pub use extractor::{extract_batch, ExtractError, ExtractedBatch};
 pub use feature_buffer::{ExtractPlan, FeatureBufferManager};
 pub use parallel::{run_data_parallel, ParallelConfig, ParallelReport};
-pub use pipeline::{EpochStats, Pipeline};
+pub use pipeline::{BuildError, EpochStats, Pipeline};
 pub use staging::StagingBuffer;
 pub use system::{evaluate_model, EpochReport, TrainingSystem};

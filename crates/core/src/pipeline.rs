@@ -9,14 +9,17 @@
 //! [`GnnDriveConfig::reorder`] to `false` makes the trainer restore
 //! submission order (the ablation).
 
+use crate::builder::PipelineBuilder;
+use crate::checkpoint::TrainCheckpoint;
 use crate::config::GnnDriveConfig;
+use crate::error::Error;
 use crate::extractor::{extract_batch, ExtractedBatch, ExtractorContext};
 use crate::feature_buffer::FeatureBufferManager;
 use crate::staging::StagingBuffer;
 use crate::system::{evaluate_model, EpochReport, TrainingSystem};
 use gnndrive_device::{DeviceAlloc, FeatureSlab, GpuDevice};
 use gnndrive_graph::{Dataset, NodeId};
-use gnndrive_nn::{build_model, GnnModel, ModelKind};
+use gnndrive_nn::{build_model, GnnModel};
 use gnndrive_sampling::{BatchPlan, MiniBatchSample, MmapTopo, NeighborSampler, TopoReader};
 use gnndrive_storage::{MemCharge, MemoryGovernor, OomError, PageCache};
 use gnndrive_telemetry::{self as telemetry, HistSummary, State, ThreadClass};
@@ -83,28 +86,49 @@ impl std::fmt::Display for BuildError {
     }
 }
 
-impl std::error::Error for BuildError {}
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::HostOom(e) => Some(e),
+            BuildError::DeviceOom(e) => Some(e),
+        }
+    }
+}
 
 impl Pipeline {
-    /// Wire a pipeline: charge host memory for the resident topology
-    /// metadata and staging buffer, allocate the feature buffer on the
-    /// device (GPU mode) or host (CPU mode), and memory-map the on-SSD
-    /// index array through `page_cache` for sampling.
+    /// Start building a pipeline over `ds` and `device`. See
+    /// [`PipelineBuilder`] for the knobs; defaults are a GraphSAGE model
+    /// with 16 hidden units, the paper's default config, GPU mode, an
+    /// unlimited memory governor, and a fresh page cache.
+    pub fn builder(ds: Arc<Dataset>, device: Arc<GpuDevice>) -> PipelineBuilder {
+        PipelineBuilder::new(ds, device)
+    }
+
+    /// Wire a pipeline from its builder: charge host memory for the
+    /// resident topology metadata and staging buffer, allocate the feature
+    /// buffer on the device (GPU mode) or host (CPU mode), and memory-map
+    /// the on-SSD index array through the page cache for sampling.
     ///
     /// `gpu_mode = false` selects the paper's CPU-based training
     /// architecture (§4.4): feature buffer in host memory, no staging hop,
     /// compute on the CPU model.
-    #[allow(clippy::too_many_arguments)]
-    pub fn new(
-        ds: Arc<Dataset>,
-        model_kind: ModelKind,
-        hidden: usize,
-        cfg: GnnDriveConfig,
-        device: Arc<GpuDevice>,
-        gpu_mode: bool,
-        governor: Arc<MemoryGovernor>,
-        page_cache: Arc<PageCache>,
-    ) -> Result<Self, BuildError> {
+    pub(crate) fn from_builder(b: PipelineBuilder) -> Result<Self, BuildError> {
+        let PipelineBuilder {
+            ds,
+            device,
+            model_kind,
+            hidden,
+            cfg,
+            gpu_mode,
+            governor,
+            page_cache,
+        } = b;
+        let governor = governor.unwrap_or_else(MemoryGovernor::unlimited);
+        let page_cache = page_cache
+            .unwrap_or_else(|| PageCache::new(Arc::clone(&ds.ssd), Arc::clone(&governor)));
+        // The page cache recovers from the same fault model the extractors
+        // do; one policy governs both.
+        page_cache.set_retry_policy(cfg.retry);
         let mut host_charges = Vec::new();
         // Host-resident structures the paper keeps in memory: indptr,
         // labels, train index.
@@ -214,6 +238,7 @@ impl Pipeline {
             sync_extract: self.cfg.sync_extract,
             ring_depth: self.cfg.ring_depth,
             max_joint_read_bytes: self.cfg.max_joint_read_bytes,
+            retry: self.cfg.retry,
         };
         let batch = extract_batch(&ctx, sample).expect("inference extraction");
         let (_r, _c, data) = self.fb.slab().gather(&batch.aliases);
@@ -235,6 +260,32 @@ impl Pipeline {
         &mut self,
         epoch: u64,
         max_batches: Option<usize>,
+        on_step: impl FnMut(&mut GnnModel) + Send,
+    ) -> EpochStats {
+        self.train_epoch_range_with_sync(epoch, 0, max_batches, on_step)
+    }
+
+    /// [`Pipeline::train_epoch_with_sync`] restricted to the batch range
+    /// `start_batch ..` of the epoch's plan — the resume path: a
+    /// checkpoint taken after batch *k* continues the epoch from batch *k*
+    /// without re-training the prefix.
+    pub fn train_epoch_range(
+        &mut self,
+        epoch: u64,
+        start_batch: usize,
+        max_batches: Option<usize>,
+    ) -> EpochStats {
+        self.train_epoch_range_with_sync(epoch, start_batch, max_batches, |_| {})
+    }
+
+    /// The general epoch driver: run batches `start_batch ..` of epoch
+    /// `epoch`'s plan (at most `max_batches` of them), invoking `on_step`
+    /// after each optimizer step.
+    pub fn train_epoch_range_with_sync(
+        &mut self,
+        epoch: u64,
+        start_batch: usize,
+        max_batches: Option<usize>,
         mut on_step: impl FnMut(&mut GnnModel) + Send,
     ) -> EpochStats {
         let plan = BatchPlan::new(
@@ -244,7 +295,9 @@ impl Pipeline {
             self.cfg.seed,
         );
         let full_batches = plan.num_batches();
-        let batches = full_batches.min(max_batches.unwrap_or(usize::MAX));
+        let first = start_batch.min(full_batches);
+        let end = full_batches.min(first.saturating_add(max_batches.unwrap_or(usize::MAX)));
+        let batches = end - first;
         if batches == 0 {
             return EpochStats::default();
         }
@@ -269,6 +322,7 @@ impl Pipeline {
             sync_extract: self.cfg.sync_extract,
             ring_depth: self.cfg.ring_depth,
             max_joint_read_bytes: self.cfg.max_joint_read_bytes,
+            retry: self.cfg.retry,
         });
 
         let (extract_tx, extract_rx) =
@@ -289,15 +343,16 @@ impl Pipeline {
         let h_train = telemetry::histogram_ns("pipeline.train");
         let h_release = telemetry::histogram_ns("pipeline.release");
         let c_batches = telemetry::counter("pipeline.batches_trained");
+        let c_skipped = telemetry::counter("pipeline.batches_skipped");
         let stage_sample: parking_lot::Mutex<telemetry::Histogram> = Default::default();
         let stage_extract: parking_lot::Mutex<telemetry::Histogram> = Default::default();
         let stage_release: parking_lot::Mutex<telemetry::Histogram> = Default::default();
         let mut stage_train = telemetry::Histogram::new();
 
-        let cursor = AtomicUsize::new(0);
+        let cursor = AtomicUsize::new(first);
         // Per-batch sample-start stamps (nanos since t0) for the latency
-        // histogram; index = batch id.
-        let batch_started: Vec<AtomicU64> = (0..batches).map(|_| AtomicU64::new(0)).collect();
+        // histogram; index = batch id (absolute within the epoch plan).
+        let batch_started: Vec<AtomicU64> = (0..end).map(|_| AtomicU64::new(0)).collect();
         let mut latency = gnndrive_telemetry::Histogram::new();
         let sample_nanos = AtomicU64::new(0);
         let extract_nanos = AtomicU64::new(0);
@@ -339,7 +394,7 @@ impl Pipeline {
                         telemetry::register_thread(ThreadClass::Cpu);
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            if i >= batches {
+                            if i >= end {
                                 break;
                             }
                             let t = Instant::now();
@@ -378,6 +433,7 @@ impl Pipeline {
                 let h_extract = h_extract.clone();
                 let g_extract_q = g_extract_q.clone();
                 let g_train_q = g_train_q.clone();
+                let c_skipped = c_skipped.clone();
                 let stage_extract = &stage_extract;
                 s.builder()
                     .name(format!("extractor-{w}"))
@@ -408,10 +464,12 @@ impl Pipeline {
                                     g_train_q.set(tx.len() as i64);
                                 }
                                 Err(e) => {
-                                    // Record the failure, drop the batch,
-                                    // and keep serving the epoch.
+                                    // Graceful degradation: record the
+                                    // failure, skip the batch, and keep
+                                    // serving the epoch.
                                     first_error.lock().get_or_insert_with(|| e.to_string());
                                     failed_batches.fetch_add(1, Ordering::Relaxed);
+                                    c_skipped.inc();
                                 }
                             }
                         }
@@ -448,7 +506,7 @@ impl Pipeline {
             // ⑦⑧ Trainer (this thread).
             telemetry::register_thread(ThreadClass::Cpu);
             let mut pending: BTreeMap<u64, ExtractedBatch> = BTreeMap::new();
-            let mut next_expected = 0u64;
+            let mut next_expected = first as u64;
             let mut done = 0usize;
             'train: while done + failed_batches.load(Ordering::Relaxed) < batches {
                 // recv with a timeout so extraction failures (which shrink
@@ -550,11 +608,13 @@ impl Pipeline {
         let io_after = self.ds.ssd.stats().snapshot();
         let io = io_after.delta_since(&io_before);
         telemetry::counter("pipeline.epochs").inc();
+        let failed = failed_batches.load(Ordering::Relaxed);
         let report = EpochReport {
             wall: t0.elapsed(),
-            batches: batches - failed_batches.load(Ordering::Relaxed),
+            batches: batches - failed,
             full_batches,
-            loss: (loss_sum / batches.max(1) as f64) as f32,
+            failed_batches: failed,
+            loss: (loss_sum / (batches - failed).max(1) as f64) as f32,
             sample_secs: sample_nanos.load(Ordering::Relaxed) as f64 / 1e9,
             extract_secs: extract_nanos.load(Ordering::Relaxed) as f64 / 1e9,
             train_secs,
@@ -589,6 +649,26 @@ impl Pipeline {
     /// with per-stage latency percentiles.
     pub fn train_epoch_stats(&mut self, epoch: u64, max_batches: Option<usize>) -> EpochStats {
         self.train_epoch_with_sync(epoch, max_batches, |_| {})
+    }
+
+    /// Snapshot the training state — model weights, Adam moments and step
+    /// count, and the epoch/batch cursor — into a [`TrainCheckpoint`].
+    pub fn checkpoint(&mut self, epoch: u64, next_batch: u64) -> TrainCheckpoint {
+        TrainCheckpoint {
+            epoch,
+            next_batch,
+            model: self.model.save(),
+            optimizer: self.opt.save(),
+        }
+    }
+
+    /// Restore model weights and optimizer state from a checkpoint. Resume
+    /// training at (`ck.epoch`, `ck.next_batch`) via
+    /// [`Pipeline::train_epoch_range`].
+    pub fn restore(&mut self, ck: &TrainCheckpoint) -> Result<(), Error> {
+        self.model = GnnModel::load(&ck.model).map_err(Error::Checkpoint)?;
+        self.opt = Adam::load(&ck.optimizer).map_err(Error::Checkpoint)?;
+        Ok(())
     }
 }
 

@@ -17,6 +17,9 @@ pub struct EpochReport {
     pub batches: usize,
     /// Mini-batches a full epoch would contain.
     pub full_batches: usize,
+    /// Mini-batches skipped after unrecoverable extraction failures
+    /// (graceful degradation; these are excluded from `batches`).
+    pub failed_batches: usize,
     /// Mean training loss over the processed batches.
     pub loss: f32,
     /// Accumulated per-stage busy time (seconds, summed across workers).

@@ -46,7 +46,14 @@ fn build(gpu: bool, dim: usize, cfg: GnnDriveConfig) -> Pipeline {
     } else {
         GpuDevice::cpu()
     };
-    Pipeline::new(ds, ModelKind::GraphSage, 16, cfg, device, gpu, gov, cache).expect("build")
+    Pipeline::builder(ds, device)
+        .model(ModelKind::GraphSage, 16)
+        .config(cfg)
+        .gpu_mode(gpu)
+        .governor(gov)
+        .page_cache(cache)
+        .build()
+        .expect("build")
 }
 
 #[test]
@@ -151,10 +158,18 @@ fn device_oom_is_reported_at_build() {
         feature_buffer_slots: 1024 * 1024,
         ..config()
     };
-    let err = Pipeline::new(ds, ModelKind::GraphSage, 16, cfg, device, true, gov, cache)
+    let err = Pipeline::builder(ds, device)
+        .model(ModelKind::GraphSage, 16)
+        .config(cfg)
+        .governor(gov)
+        .page_cache(cache)
+        .build()
         .err()
         .expect("should OOM");
     assert!(format!("{err}").contains("device out of memory"));
+    // The unified error chains down to the device layer.
+    use std::error::Error as _;
+    assert!(err.source().is_some(), "Error::Build must carry a source");
 }
 
 #[test]
@@ -163,18 +178,15 @@ fn host_oom_is_reported_at_build_for_cpu_mode() {
     let gov = MemoryGovernor::new(1024 * 1024); // 1 MiB host budget
     let cache = PageCache::new(Arc::clone(&ds.ssd), Arc::clone(&gov));
     let device = GpuDevice::cpu();
-    let err = Pipeline::new(
-        ds,
-        ModelKind::GraphSage,
-        16,
-        config(),
-        device,
-        false,
-        gov,
-        cache,
-    )
-    .err()
-    .expect("should OOM");
+    let err = Pipeline::builder(ds, device)
+        .model(ModelKind::GraphSage, 16)
+        .config(config())
+        .gpu_mode(false)
+        .governor(gov)
+        .page_cache(cache)
+        .build()
+        .err()
+        .expect("should OOM");
     assert!(format!("{err}").contains("out of memory"));
 }
 
@@ -189,17 +201,13 @@ fn transient_read_faults_are_retried_transparently() {
     let ds = dataset(32);
     let gov = MemoryGovernor::unlimited();
     let cache = PageCache::new(Arc::clone(&ds.ssd), Arc::clone(&gov));
-    let mut p2 = Pipeline::new(
-        Arc::clone(&ds),
-        ModelKind::GraphSage,
-        16,
-        config(),
-        GpuDevice::rtx3090(),
-        true,
-        gov,
-        cache,
-    )
-    .unwrap();
+    let mut p2 = Pipeline::builder(Arc::clone(&ds), GpuDevice::rtx3090())
+        .model(ModelKind::GraphSage, 16)
+        .config(config())
+        .governor(gov)
+        .page_cache(cache)
+        .build()
+        .unwrap();
     ds.ssd.inject_read_faults_on(ds.features_file, 5);
     let report = p2.train_epoch(0, Some(6));
     ds.ssd.inject_read_faults(0);
@@ -219,17 +227,13 @@ fn persistent_read_faults_surface_as_epoch_errors_not_panics() {
     let ds = dataset(32);
     let gov = MemoryGovernor::unlimited();
     let cache = PageCache::new(Arc::clone(&ds.ssd), Arc::clone(&gov));
-    let mut p = Pipeline::new(
-        Arc::clone(&ds),
-        ModelKind::GraphSage,
-        16,
-        config(),
-        GpuDevice::rtx3090(),
-        true,
-        gov,
-        cache,
-    )
-    .unwrap();
+    let mut p = Pipeline::builder(Arc::clone(&ds), GpuDevice::rtx3090())
+        .model(ModelKind::GraphSage, 16)
+        .config(config())
+        .governor(gov)
+        .page_cache(cache)
+        .build()
+        .unwrap();
     ds.ssd.inject_read_faults_on(ds.features_file, 1);
     let report = p.train_epoch(0, Some(6));
     ds.ssd.inject_read_faults(0);

@@ -29,6 +29,9 @@ pub enum IoError {
     /// An injected or modeled media failure (uncorrectable read). Carries
     /// the file and offset for diagnostics.
     DeviceFault { file: u32, offset: u64 },
+    /// The operation's retry-policy deadline expired before a completion
+    /// arrived (see [`crate::RetryPolicy::op_timeout`]).
+    Timeout,
 }
 
 impl fmt::Display for IoError {
@@ -53,6 +56,7 @@ impl fmt::Display for IoError {
             IoError::DeviceFault { file, offset } => {
                 write!(f, "device fault reading file {file} at offset {offset}")
             }
+            IoError::Timeout => write!(f, "I/O operation timed out"),
         }
     }
 }

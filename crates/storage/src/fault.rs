@@ -1,0 +1,293 @@
+//! Deterministic storage fault injection.
+//!
+//! Long disk-based training runs (multi-hour epochs at paper scale) see
+//! real media faults, latency spikes, and transient device stalls. The
+//! [`FaultPlan`] describes a *schedule* of such events and the
+//! [`FaultInjector`] applies it inside the [`crate::SimSsd`] workers.
+//!
+//! Every decision is a pure function of the plan's seed and the request's
+//! global operation ordinal, so a given plan produces the same fault
+//! sequence on every run regardless of thread interleaving — chaos tests
+//! are reproducible by construction.
+//!
+//! Injected events are counted in the telemetry registry (`storage.faults`,
+//! `storage.latency_spikes`, `storage.stalls`) so run reports show what a
+//! run survived.
+
+use crate::error::IoError;
+use crate::ssd::IoOp;
+use gnndrive_telemetry as telemetry;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use telemetry::Counter;
+
+/// A seeded schedule of storage faults. Build one with the `with_*`
+/// combinators and install it via [`crate::SimSsd::set_fault_plan`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Seed for all probabilistic decisions; two identical plans with the
+    /// same seed produce identical fault sequences.
+    pub seed: u64,
+    /// Probability that a read fails with [`IoError::DeviceFault`].
+    pub read_fault_prob: f64,
+    /// Deterministic variant: every `n`-th read fails (0 disables). This is
+    /// the legacy `inject_read_faults` behaviour.
+    pub read_fault_every: u64,
+    /// Restrict *read faults* to one file (latency events hit every file —
+    /// a sick device is slow for everyone).
+    pub target_file: Option<u32>,
+    /// Restrict read faults to a window of read ordinals `[start, end)`;
+    /// `None` means always active.
+    pub fault_window: Option<Range<u64>>,
+    /// Probability that any request pays an extra latency spike.
+    pub latency_spike_prob: f64,
+    /// Magnitude of an injected latency spike.
+    pub latency_spike: Duration,
+    /// A transient whole-device stall: every request whose ordinal falls in
+    /// this window is delayed by `stall` (models firmware GC pauses or a
+    /// link reset).
+    pub stall_window: Option<Range<u64>>,
+    /// Per-request delay inside the stall window.
+    pub stall: Duration,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Fail each read with probability `p` (independent, seeded).
+    pub fn with_read_fault_prob(mut self, p: f64) -> Self {
+        self.read_fault_prob = p;
+        self
+    }
+
+    /// Fail every `n`-th read deterministically (0 disables).
+    pub fn with_read_fault_every(mut self, n: u64) -> Self {
+        self.read_fault_every = n;
+        self
+    }
+
+    /// Restrict read faults to file `id`.
+    pub fn on_file(mut self, id: u32) -> Self {
+        self.target_file = Some(id);
+        self
+    }
+
+    /// Restrict read faults to read ordinals `[window.start, window.end)`.
+    pub fn in_window(mut self, window: Range<u64>) -> Self {
+        self.fault_window = Some(window);
+        self
+    }
+
+    /// Add latency spikes: with probability `p` a request pays `extra` on
+    /// top of its modeled service time.
+    pub fn with_latency_spikes(mut self, p: f64, extra: Duration) -> Self {
+        self.latency_spike_prob = p;
+        self.latency_spike = extra;
+        self
+    }
+
+    /// Add a transient device stall: requests with ordinals in `window`
+    /// are each delayed by `delay`.
+    pub fn with_stall(mut self, window: Range<u64>, delay: Duration) -> Self {
+        self.stall_window = Some(window);
+        self.stall = delay;
+        self
+    }
+
+    /// Whether the plan can ever inject anything.
+    pub fn is_active(&self) -> bool {
+        self.read_fault_prob > 0.0
+            || self.read_fault_every > 0
+            || (self.latency_spike_prob > 0.0 && !self.latency_spike.is_zero())
+            || (self.stall_window.is_some() && !self.stall.is_zero())
+    }
+}
+
+/// What the injector decided for one request.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultVerdict {
+    /// Extra service latency to charge (spike and/or stall).
+    pub extra_latency: Duration,
+    /// If set, the request must fail with this error after paying its
+    /// (possibly inflated) service time — media errors are slow, not fast.
+    pub fail: Option<IoError>,
+}
+
+/// Applies a [`FaultPlan`] to a request stream. Thread-safe; owned by the
+/// device and consulted once per serviced request.
+pub struct FaultInjector {
+    plan: FaultPlan,
+    /// Global request ordinal (reads and writes), drives latency events.
+    ops: AtomicU64,
+    /// Read ordinal, drives read-fault decisions.
+    reads: AtomicU64,
+    c_faults: Counter,
+    c_spikes: Counter,
+    c_stalls: Counter,
+}
+
+/// splitmix64: a tiny, high-quality mixing function. Deterministic
+/// per-(seed, ordinal, stream) uniform in [0, 1).
+fn mix_unit(seed: u64, ordinal: u64, stream: u64) -> f64 {
+    let mut z = seed
+        .wrapping_add(stream.wrapping_mul(0x9E3779B97F4A7C15))
+        .wrapping_add(ordinal.wrapping_mul(0xBF58476D1CE4E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    // 53 high bits → [0, 1).
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl FaultInjector {
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            ops: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+            c_faults: telemetry::counter("storage.faults"),
+            c_spikes: telemetry::counter("storage.latency_spikes"),
+            c_stalls: telemetry::counter("storage.stalls"),
+        }
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Judge one request. Called by a device worker as it services the
+    /// request; counters are bumped here so callers only need to honor the
+    /// verdict.
+    pub fn assess(&self, file: u32, offset: u64, op: IoOp) -> FaultVerdict {
+        let mut verdict = FaultVerdict::default();
+        let ordinal = self.ops.fetch_add(1, Ordering::Relaxed);
+
+        if self.plan.latency_spike_prob > 0.0
+            && !self.plan.latency_spike.is_zero()
+            && mix_unit(self.plan.seed, ordinal, 1) < self.plan.latency_spike_prob
+        {
+            verdict.extra_latency += self.plan.latency_spike;
+            self.c_spikes.inc();
+        }
+        if let Some(w) = &self.plan.stall_window {
+            if w.contains(&ordinal) && !self.plan.stall.is_zero() {
+                verdict.extra_latency += self.plan.stall;
+                self.c_stalls.inc();
+            }
+        }
+
+        // Only *targeted* reads advance the read ordinal, so "every n-th
+        // read of file F" keeps meaning exactly that when other files are
+        // read concurrently.
+        let targeted = self.plan.target_file.map(|t| t == file).unwrap_or(true);
+        if op == IoOp::Read && targeted {
+            let read_no = self.reads.fetch_add(1, Ordering::Relaxed);
+            let in_window = self
+                .plan
+                .fault_window
+                .as_ref()
+                .map(|w| w.contains(&read_no))
+                .unwrap_or(true);
+            if in_window {
+                let every = self.plan.read_fault_every > 0
+                    && (read_no + 1).is_multiple_of(self.plan.read_fault_every);
+                let prob = self.plan.read_fault_prob > 0.0
+                    && mix_unit(self.plan.seed, read_no, 2) < self.plan.read_fault_prob;
+                if every || prob {
+                    verdict.fail = Some(IoError::DeviceFault { file, offset });
+                    self.c_faults.inc();
+                }
+            }
+        }
+        verdict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let inj = FaultInjector::new(FaultPlan::new(1));
+        assert!(!inj.plan().is_active());
+        for i in 0..100 {
+            let v = inj.assess(0, i * 512, IoOp::Read);
+            assert_eq!(v, FaultVerdict::default());
+        }
+    }
+
+    #[test]
+    fn every_nth_read_fails_deterministically() {
+        let inj = FaultInjector::new(FaultPlan::new(9).with_read_fault_every(3));
+        let fails: Vec<bool> = (0..9)
+            .map(|i| inj.assess(0, i, IoOp::Read).fail.is_some())
+            .collect();
+        assert_eq!(
+            fails,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+        // Writes never fail.
+        assert!(inj.assess(0, 0, IoOp::Write).fail.is_none());
+    }
+
+    #[test]
+    fn probabilistic_faults_are_seed_deterministic() {
+        let run = |seed| -> Vec<bool> {
+            let inj = FaultInjector::new(FaultPlan::new(seed).with_read_fault_prob(0.3));
+            (0..64)
+                .map(|i| inj.assess(0, i, IoOp::Read).fail.is_some())
+                .collect()
+        };
+        assert_eq!(run(7), run(7), "same seed, same schedule");
+        assert_ne!(run(7), run(8), "different seed, different schedule");
+        let hits = run(7).iter().filter(|&&b| b).count();
+        assert!((5..=25).contains(&hits), "~30% of 64, got {hits}");
+    }
+
+    #[test]
+    fn file_targeting_and_windows_scope_faults() {
+        let inj = FaultInjector::new(
+            FaultPlan::new(3)
+                .with_read_fault_every(1)
+                .on_file(2)
+                .in_window(4..8),
+        );
+        let mut failed = Vec::new();
+        for i in 0..16u64 {
+            let file = if i % 2 == 0 { 2 } else { 5 };
+            if inj.assess(file, 0, IoOp::Read).fail.is_some() {
+                failed.push(i);
+            }
+        }
+        // Only file-2 reads (even iterations) advance the targeted read
+        // ordinal; the window 4..8 selects targeted reads 4..8, i.e.
+        // iterations 8, 10, 12, 14.
+        assert_eq!(failed, vec![8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn latency_events_accumulate() {
+        let inj = FaultInjector::new(
+            FaultPlan::new(5)
+                .with_latency_spikes(1.0, Duration::from_millis(2))
+                .with_stall(0..4, Duration::from_millis(10)),
+        );
+        let v = inj.assess(0, 0, IoOp::Write);
+        assert_eq!(v.extra_latency, Duration::from_millis(12));
+        assert!(v.fail.is_none());
+        // Past the stall window only the spike remains.
+        for _ in 0..4 {
+            inj.assess(0, 0, IoOp::Write);
+        }
+        let v = inj.assess(0, 0, IoOp::Write);
+        assert_eq!(v.extra_latency, Duration::from_millis(2));
+    }
+}

@@ -40,23 +40,31 @@
 //! let mut ring = IoRing::new(ssd, 8, true);
 //! ring.prepare_read(file, 0, 512, 42).unwrap();
 //! ring.submit();
-//! let completion = ring.wait_completion().unwrap();
+//! let completion = ring.wait_completion().unwrap().expect("one in flight");
 //! assert_eq!(completion.user_data, 42);
 //! assert_eq!(completion.result.unwrap()[0], 7);
 //! ```
+//!
+//! For robustness testing, [`FaultPlan`] installs a deterministic schedule
+//! of media faults, latency spikes, and device stalls on a [`SimSsd`], and
+//! [`RetryPolicy`] bounds the recovery attempts readers make against it.
 
 pub mod error;
+pub mod fault;
 pub mod governor;
 pub mod lru;
 pub mod pagecache;
+pub mod retry;
 pub mod ring;
 pub mod ssd;
 pub mod stats;
 
 pub use error::{IoError, OomError};
+pub use fault::{FaultInjector, FaultPlan, FaultVerdict};
 pub use governor::{ChargeKind, MemCharge, MemoryGovernor, MemoryReclaimer};
 pub use lru::LruList;
 pub use pagecache::{MmapArray, PageCache, PageCacheStats, Pod, PAGE_SIZE};
+pub use retry::RetryPolicy;
 pub use ring::IoRing;
 pub use ssd::{Completion, FileHandle, IoOp, SimSsd, SsdProfile, SECTOR_SIZE};
 pub use stats::{IoStats, IoStatsSnapshot};

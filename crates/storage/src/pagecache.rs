@@ -18,6 +18,7 @@
 
 use crate::governor::{ChargeKind, MemCharge, MemoryGovernor, MemoryReclaimer};
 use crate::lru::LruList;
+use crate::retry::RetryPolicy;
 use crate::ssd::{FileHandle, SimSsd};
 use gnndrive_telemetry as telemetry;
 use parking_lot::{Condvar, Mutex};
@@ -86,7 +87,14 @@ pub struct PageCache {
     m_evictions: Counter,
     m_bypasses: Counter,
     m_readaheads: Counter,
+    m_retries: Counter,
+    m_read_errors: Counter,
     m_resident: Gauge,
+    /// Recovery policy for device reads behind a fault. On exhaustion the
+    /// cache degrades: the page is served zero-filled (the mmap analog of
+    /// SIGBUS would kill training; a hole in a feature table only perturbs
+    /// one mini-batch) and `page_cache.read_errors` records it.
+    retry: Mutex<RetryPolicy>,
     /// Readahead window in pages (0 disables). Like the kernel, sequential
     /// miss patterns trigger one larger device read covering the window.
     readahead_pages: std::sync::atomic::AtomicUsize,
@@ -127,7 +135,10 @@ impl PageCache {
             m_evictions: telemetry::counter("page_cache.evictions"),
             m_bypasses: telemetry::counter("page_cache.bypasses"),
             m_readaheads: telemetry::counter("page_cache.readaheads"),
+            m_retries: telemetry::counter("page_cache.retries"),
+            m_read_errors: telemetry::counter("page_cache.read_errors"),
             m_resident: telemetry::gauge("page_cache.resident_pages"),
+            retry: Mutex::new(RetryPolicy::default()),
             readahead_pages: std::sync::atomic::AtomicUsize::new(4),
             last_miss: Mutex::new(std::collections::HashMap::new()),
         });
@@ -139,6 +150,25 @@ impl PageCache {
     /// Set the sequential readahead window (pages; 0 disables).
     pub fn set_readahead(&self, pages: usize) {
         self.readahead_pages.store(pages, Ordering::Relaxed);
+    }
+
+    /// Set the recovery policy for faulting device reads.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *self.retry.lock() = policy;
+    }
+
+    /// Read `buf.len()` bytes at `offset` under the retry policy; degrades
+    /// to zero-fill when recovery is exhausted (see field docs on `retry`).
+    fn device_read_degraded(&self, file: FileHandle, offset: u64, buf: &mut [u8]) {
+        let policy = *self.retry.lock();
+        let outcome = policy.run(
+            || self.m_retries.inc(),
+            |_| self.ssd.read_blocking(file, offset, buf, false),
+        );
+        if outcome.is_err() {
+            buf.fill(0);
+            self.m_read_errors.inc();
+        }
     }
 
     pub fn stats(&self) -> PageCacheStats {
@@ -311,9 +341,7 @@ impl PageCache {
         let offset = first * PAGE_SIZE as u64;
         let valid = (file.len.saturating_sub(offset) as usize).min(buf.len());
         if valid > 0 {
-            self.ssd
-                .read_blocking(file, offset, &mut buf[..valid], false)
-                .expect("readahead in range");
+            self.device_read_degraded(file, offset, &mut buf[..valid]);
         }
         let mut inner = self.inner.lock();
         for (i, &(_, slot)) in slots.iter().enumerate() {
@@ -336,9 +364,7 @@ impl PageCache {
         // Tail pages may be shorter than PAGE_SIZE.
         let n = (PAGE_SIZE as u64).min(file.len.saturating_sub(offset)) as usize;
         if n > 0 {
-            self.ssd
-                .read_blocking(file, offset, &mut buf[..n], false)
-                .expect("page read in range");
+            self.device_read_degraded(file, offset, &mut buf[..n]);
         }
         buf
     }
@@ -658,6 +684,34 @@ mod tests {
         let mut out = vec![0u32; 10];
         arr.read_slice(1020, &mut out); // spans a page boundary
         assert_eq!(out, (1020u32..1030).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn transient_device_faults_recover_then_degrade_to_zero_fill() {
+        use crate::fault::FaultPlan;
+        use std::time::Duration;
+        let (cache, f, _gov) = setup(16, 4);
+        cache.set_readahead(0);
+        cache.set_retry_policy(
+            RetryPolicy::default()
+                .with_max_attempts(3)
+                .with_backoff(Duration::ZERO, Duration::ZERO),
+        );
+        // Every 2nd read fails: a miss's first device read may fault but a
+        // single retry always lands on a healthy read.
+        cache
+            .ssd
+            .set_fault_plan(FaultPlan::new(0).with_read_fault_every(2));
+        let mut buf = [0u8; 8];
+        cache.read(f, PAGE_SIZE as u64, &mut buf);
+        assert_eq!(buf, [1u8; 8], "retry must recover the real data");
+        // Every read fails: degradation serves zeros instead of panicking.
+        cache
+            .ssd
+            .set_fault_plan(FaultPlan::new(0).with_read_fault_every(1));
+        let mut buf = [7u8; 8];
+        cache.read(f, 2 * PAGE_SIZE as u64, &mut buf);
+        assert_eq!(buf, [0u8; 8], "exhausted retries degrade to zero-fill");
     }
 
     #[test]

@@ -16,12 +16,12 @@
 //! in `gnndrive-core` owns one per mini-batch extraction.
 
 use crate::error::IoError;
-use crate::ssd::{Completion, FileHandle, IoOp, Request, SimSsd};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::ssd::{Completion, FileHandle, IoOp, Request, SimSsd, SubmitOutcome};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use gnndrive_telemetry as telemetry;
 use std::collections::VecDeque;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A single-threaded submission/completion ring over a [`SimSsd`].
 pub struct IoRing {
@@ -114,16 +114,22 @@ impl IoRing {
     }
 
     /// Push prepared entries to the device without blocking. Returns how
-    /// many were accepted; the rest stay queued (device queue full).
+    /// many left the software queue; entries refused by a full device queue
+    /// stay queued. On a shut-down device every entry is consumed and
+    /// completes with [`IoError::DeviceClosed`] through the normal reap
+    /// path, so callers see the failure rather than hanging.
     pub fn submit(&mut self) -> usize {
         let mut n = 0;
         while let Some(req) = self.sq.pop_front() {
             match self.device.try_submit(req) {
-                Ok(()) => {
+                SubmitOutcome::Accepted | SubmitOutcome::Closed => {
+                    // Closed: the device already sent a DeviceClosed
+                    // completion on our cq channel; count it in flight so
+                    // reaping stays balanced.
                     self.inflight += 1;
                     n += 1;
                 }
-                Err(req) => {
+                SubmitOutcome::Full(req) => {
                     self.sq.push_front(req);
                     break;
                 }
@@ -145,26 +151,71 @@ impl IoRing {
 
     /// Block (in I/O wait) until a completion arrives.
     ///
-    /// Returns `None` if nothing is in flight or queued — calling blind
-    /// would deadlock, so that case is made loud instead.
-    pub fn wait_completion(&mut self) -> Option<Completion> {
+    /// Returns `Ok(None)` if nothing is in flight or queued — calling blind
+    /// would deadlock, so that case is made loud instead — and
+    /// `Err(IoError::DeviceClosed)` if the device shuts down while we wait,
+    /// instead of parking forever on a completion that can never arrive.
+    pub fn wait_completion(&mut self) -> Result<Option<Completion>, IoError> {
+        self.wait_completion_deadline(None)
+    }
+
+    /// [`IoRing::wait_completion`] with an absolute deadline: returns
+    /// `Err(IoError::Timeout)` if no completion arrives by `deadline`
+    /// (the in-flight request itself stays outstanding and will be reaped
+    /// by a later call). Used by retry policies to bound per-op waits.
+    pub fn wait_completion_deadline(
+        &mut self,
+        deadline: Option<Instant>,
+    ) -> Result<Option<Completion>, IoError> {
         // Ensure something of ours is actually in flight before blocking:
         // the device queue is shared, so a submit may accept nothing while
-        // other rings hog it — retry until one of our SQEs is in, or we
-        // would wait forever for a completion that can never arrive.
+        // other rings hog it — retry until one of our SQEs is in.
         while self.inflight == 0 {
             if self.sq.is_empty() {
-                return None;
+                return Ok(None);
+            }
+            if self.device.is_closed() {
+                return Err(IoError::DeviceClosed);
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Err(IoError::Timeout);
             }
             if self.submit() == 0 {
                 let _io = telemetry::state(telemetry::State::IoWait);
-                std::thread::sleep(std::time::Duration::from_micros(100));
+                std::thread::sleep(Duration::from_micros(100));
             }
         }
         let started = Instant::now();
         let completion = {
             let _io = telemetry::state(telemetry::State::IoWait);
-            self.cq_rx.recv().ok()?
+            // Tick so device shutdown (or the deadline) interrupts the wait
+            // even when the completion will never be sent.
+            loop {
+                let tick = Duration::from_millis(10);
+                let wait = match deadline {
+                    Some(d) => d
+                        .saturating_duration_since(Instant::now())
+                        .min(tick)
+                        .max(Duration::from_micros(10)),
+                    None => tick,
+                };
+                match self.cq_rx.recv_timeout(wait) {
+                    Ok(c) => break c,
+                    Err(RecvTimeoutError::Timeout) => {
+                        if self.device.is_closed() {
+                            return Err(IoError::DeviceClosed);
+                        }
+                        if deadline.is_some_and(|d| Instant::now() >= d) {
+                            return Err(IoError::Timeout);
+                        }
+                    }
+                    // Unreachable in practice (the ring holds its own
+                    // cq_tx), but map it rather than panic.
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err(IoError::DeviceClosed);
+                    }
+                }
+            }
         };
         self.device
             .stats()
@@ -172,16 +223,17 @@ impl IoRing {
         self.inflight -= 1;
         // Backfill the device queue from the software SQ.
         self.submit();
-        Some(completion)
+        Ok(Some(completion))
     }
 
     /// Convenience: submit everything and reap until all in-flight and
     /// queued requests have completed, invoking `on_complete` per CQE.
-    pub fn drain(&mut self, mut on_complete: impl FnMut(Completion)) {
+    pub fn drain(&mut self, mut on_complete: impl FnMut(Completion)) -> Result<(), IoError> {
         self.submit();
-        while let Some(c) = self.wait_completion() {
+        while let Some(c) = self.wait_completion()? {
             on_complete(c);
         }
+        Ok(())
     }
 }
 
@@ -214,7 +266,8 @@ mod tests {
             assert_eq!(buf[0] as u64, c.user_data);
             assert_eq!(buf.len(), 512);
             seen[c.user_data as usize] = true;
-        });
+        })
+        .unwrap();
         assert!(seen.iter().all(|&s| s));
         assert_eq!(ring.inflight(), 0);
     }
@@ -237,7 +290,59 @@ mod tests {
     fn wait_on_empty_ring_returns_none() {
         let (ssd, _f) = device_with_data(1);
         let mut ring = IoRing::new(ssd, 8, true);
-        assert!(ring.wait_completion().is_none());
+        assert!(ring.wait_completion().unwrap().is_none());
+    }
+
+    #[test]
+    fn shutdown_mid_flight_surfaces_device_closed() {
+        let (ssd, f) = device_with_data(8);
+        let mut ring = IoRing::new(Arc::clone(&ssd), 8, true);
+        for i in 0..4u64 {
+            ring.prepare_read(f, i * 512, 512, i).unwrap();
+        }
+        ring.submit();
+        ssd.shutdown();
+        // Every outstanding request resolves — either with its data (if a
+        // worker serviced it before the close) or with DeviceClosed — and
+        // the ring never parks forever.
+        let mut resolved = 0;
+        loop {
+            match ring.wait_completion() {
+                Ok(Some(_)) => resolved += 1,
+                Ok(None) => break,
+                Err(IoError::DeviceClosed) => break,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(resolved <= 4);
+        // New submissions fail fast with a DeviceClosed completion.
+        ring.prepare_read(f, 0, 512, 99).unwrap();
+        ring.submit();
+        match ring.wait_completion() {
+            Ok(Some(c)) => assert_eq!(c.result.unwrap_err(), IoError::DeviceClosed),
+            Err(IoError::DeviceClosed) => {}
+            other => panic!("expected DeviceClosed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wait_deadline_times_out_without_losing_the_request() {
+        let mut profile = SsdProfile::instant();
+        profile.read_latency = Duration::from_millis(50);
+        profile.sleep_granularity = Duration::from_micros(100);
+        let ssd = SimSsd::new(profile);
+        let f = ssd.create_file(4096);
+        let mut ring = IoRing::new(ssd, 8, true);
+        ring.prepare_read(f, 0, 512, 7).unwrap();
+        ring.submit();
+        let err = ring
+            .wait_completion_deadline(Some(Instant::now() + Duration::from_millis(5)))
+            .unwrap_err();
+        assert_eq!(err, IoError::Timeout);
+        // The request is still in flight; a patient wait reaps it.
+        let c = ring.wait_completion().unwrap().expect("completion");
+        assert_eq!(c.user_data, 7);
+        c.result.unwrap();
     }
 
     #[test]
@@ -261,7 +366,8 @@ mod tests {
         ring.drain(|c| {
             c.result.unwrap();
             n += 1;
-        });
+        })
+        .unwrap();
         assert_eq!(n, 256);
     }
 
@@ -289,7 +395,7 @@ mod tests {
             ring.prepare_read(f, i * 512, 512, i).unwrap();
         }
         let mut count = 0;
-        ring.drain(|_| count += 1);
+        ring.drain(|_| count += 1).unwrap();
         let async_time = t0.elapsed();
         assert_eq!(count, n);
         assert!(

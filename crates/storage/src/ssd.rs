@@ -18,10 +18,12 @@
 //! reads copy bytes out of the image into the request buffer.
 
 use crate::error::IoError;
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::stats::IoStats;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use gnndrive_telemetry as telemetry;
 use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -177,19 +179,28 @@ struct Shared {
     /// Global bandwidth reservation cursor: the instant the device link is
     /// next free. Reserving `b` bytes advances it by `b / bandwidth`.
     bw_cursor: Mutex<Instant>,
-    /// Fault injection: fail every Nth read (0 = disabled). Deterministic,
-    /// so failure-path tests are reproducible.
-    fault_every: std::sync::atomic::AtomicU64,
-    /// Restrict injected faults to one file id (u32::MAX = any file).
-    fault_file: std::sync::atomic::AtomicU32,
-    read_counter: std::sync::atomic::AtomicU64,
+    /// Active fault-injection schedule, consulted by workers per request.
+    fault: RwLock<Option<FaultInjector>>,
+    /// Set once [`SimSsd::shutdown`] begins; workers stop servicing and
+    /// reply [`IoError::DeviceClosed`] to anything still queued.
+    closed: AtomicBool,
 }
 
 /// The simulated SSD. See module docs for the timing model.
 pub struct SimSsd {
-    tx: Option<Sender<Request>>,
+    tx: Mutex<Option<Sender<Request>>>,
     shared: Arc<Shared>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Outcome of a non-blocking submission attempt.
+pub(crate) enum SubmitOutcome {
+    Accepted,
+    /// Device queue full: the request is handed back for requeueing.
+    Full(Request),
+    /// Device shut down: the request was consumed and its reply channel
+    /// got a [`IoError::DeviceClosed`] completion.
+    Closed,
 }
 
 impl SimSsd {
@@ -202,9 +213,8 @@ impl SimSsd {
             files: Mutex::new(Vec::new()),
             stats: IoStats::default(),
             bw_cursor: Mutex::new(Instant::now()),
-            fault_every: std::sync::atomic::AtomicU64::new(0),
-            fault_file: std::sync::atomic::AtomicU32::new(u32::MAX),
-            read_counter: std::sync::atomic::AtomicU64::new(0),
+            fault: RwLock::new(None),
+            closed: AtomicBool::new(false),
         });
         let mut workers = Vec::with_capacity(profile.channels);
         for i in 0..profile.channels {
@@ -218,7 +228,7 @@ impl SimSsd {
             );
         }
         Arc::new(SimSsd {
-            tx: Some(tx),
+            tx: Mutex::new(Some(tx)),
             shared,
             workers: Mutex::new(workers),
         })
@@ -232,32 +242,49 @@ impl SimSsd {
         &self.shared.stats
     }
 
+    /// Install a fault-injection schedule; replaces any active plan and
+    /// resets its operation counters.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.shared.fault.write() = if plan.is_active() {
+            Some(FaultInjector::new(plan))
+        } else {
+            None
+        };
+    }
+
+    /// Remove any active fault plan (the device becomes healthy again).
+    pub fn clear_faults(&self) {
+        *self.shared.fault.write() = None;
+    }
+
     /// Fault injection: make every `n`-th read fail with
-    /// [`IoError::DeviceFault`] (0 disables). Used by failure-path tests.
+    /// [`IoError::DeviceFault`] (0 disables). Compatibility shim over
+    /// [`SimSsd::set_fault_plan`]; used by failure-path tests.
     pub fn inject_read_faults(&self, n: u64) {
-        self.shared
-            .fault_file
-            .store(u32::MAX, std::sync::atomic::Ordering::Relaxed);
-        self.shared
-            .fault_every
-            .store(n, std::sync::atomic::Ordering::Relaxed);
-        self.shared
-            .read_counter
-            .store(0, std::sync::atomic::Ordering::Relaxed);
+        self.set_fault_plan(FaultPlan::new(0).with_read_fault_every(n));
     }
 
     /// Like [`SimSsd::inject_read_faults`] but only reads of `file` fail —
     /// lets tests break the feature table while topology stays healthy.
     pub fn inject_read_faults_on(&self, file: FileHandle, n: u64) {
-        self.shared
-            .fault_file
-            .store(file.id, std::sync::atomic::Ordering::Relaxed);
-        self.shared
-            .fault_every
-            .store(n, std::sync::atomic::Ordering::Relaxed);
-        self.shared
-            .read_counter
-            .store(0, std::sync::atomic::Ordering::Relaxed);
+        self.set_fault_plan(FaultPlan::new(0).with_read_fault_every(n).on_file(file.id));
+    }
+
+    /// Whether the device has been shut down (or is shutting down).
+    pub fn is_closed(&self) -> bool {
+        self.shared.closed.load(Ordering::Acquire)
+    }
+
+    /// Shut the device down: in-flight and queued requests complete with
+    /// [`IoError::DeviceClosed`], workers exit, and all later submissions
+    /// fail fast. Idempotent; `Drop` calls it too.
+    pub fn shutdown(&self) {
+        self.shared.closed.store(true, Ordering::Release);
+        // Dropping the sender lets workers drain the queue and exit.
+        *self.tx.lock() = None;
+        for h in self.workers.lock().drain(..) {
+            let _ = h.join();
+        }
     }
 
     /// Allocate a zero-filled file of `len` bytes on the device.
@@ -318,31 +345,60 @@ impl SimSsd {
         self.locate(file, offset, len).map(|_| ())
     }
 
-    fn sender(&self) -> &Sender<Request> {
-        self.tx.as_ref().expect("device not shut down")
+    fn sender(&self) -> Option<Sender<Request>> {
+        self.tx.lock().as_ref().cloned()
+    }
+
+    /// Reply `DeviceClosed` on a request's completion channel (the device
+    /// can no longer service it).
+    fn refuse(req: Request) {
+        let _ = req.reply.send(Completion {
+            user_data: req.user_data,
+            result: Err(IoError::DeviceClosed),
+            latency: Duration::ZERO,
+        });
     }
 
     /// Submit without blocking; gives the request back if the device queue
-    /// is full (the ring keeps it in its software SQ).
-    pub(crate) fn try_submit(&self, req: Request) -> Result<(), Request> {
-        match self.sender().try_send(req) {
-            Ok(()) => Ok(()),
+    /// is full (the ring keeps it in its software SQ). A shut-down device
+    /// consumes the request and completes it with `DeviceClosed`.
+    pub(crate) fn try_submit(&self, req: Request) -> SubmitOutcome {
+        let Some(tx) = self.sender() else {
+            Self::refuse(req);
+            return SubmitOutcome::Closed;
+        };
+        match tx.try_send(req) {
+            Ok(()) => SubmitOutcome::Accepted,
             Err(TrySendError::Full(r)) => {
                 self.shared.stats.add_queue_full_stall();
-                Err(r)
+                SubmitOutcome::Full(r)
             }
-            Err(TrySendError::Disconnected(_)) => panic!("ssd workers gone"),
+            Err(TrySendError::Disconnected(r)) => {
+                Self::refuse(r);
+                SubmitOutcome::Closed
+            }
         }
     }
 
     /// Submit, stalling (in I/O-wait) if the device queue is full.
-    pub(crate) fn submit_blocking(&self, req: Request) {
+    pub(crate) fn submit_blocking(&self, req: Request) -> Result<(), IoError> {
         let req = match self.try_submit(req) {
-            Ok(()) => return,
-            Err(r) => r,
+            SubmitOutcome::Accepted => return Ok(()),
+            SubmitOutcome::Closed => return Err(IoError::DeviceClosed),
+            SubmitOutcome::Full(r) => r,
+        };
+        let Some(tx) = self.sender() else {
+            Self::refuse(req);
+            return Err(IoError::DeviceClosed);
         };
         let _io = telemetry::state(telemetry::State::IoWait);
-        self.sender().send(req).expect("ssd workers gone");
+        match tx.send(req) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                Self::refuse(e.0);
+                Err(IoError::DeviceClosed)
+            }
+        }
     }
 
     /// Synchronous read: submit one request and block until it completes.
@@ -370,7 +426,7 @@ impl SimSsd {
             user_data: 0,
             reply,
             submitted: started,
-        });
+        })?;
         let completion = {
             let _io = telemetry::state(telemetry::State::IoWait);
             done.recv().map_err(|_| IoError::DeviceClosed)?
@@ -405,7 +461,7 @@ impl SimSsd {
             user_data: 0,
             reply,
             submitted: started,
-        });
+        })?;
         let completion = {
             let _io = telemetry::state(telemetry::State::IoWait);
             done.recv().map_err(|_| IoError::DeviceClosed)?
@@ -420,10 +476,7 @@ impl SimSsd {
 impl Drop for SimSsd {
     fn drop(&mut self) {
         // Close the queue and join workers so no thread outlives the device.
-        self.tx = None;
-        for h in self.workers.lock().drain(..) {
-            let _ = h.join();
-        }
+        self.shutdown();
     }
 }
 
@@ -445,14 +498,32 @@ fn channel_worker(shared: Arc<Shared>, rx: Receiver<Request>) {
     // serviced. It may run ahead of wall time by at most sleep_granularity.
     let mut cursor = Instant::now();
     while let Ok(req) = rx.recv() {
+        if shared.closed.load(Ordering::Acquire) {
+            // Shutdown in progress: fail queued requests fast instead of
+            // servicing them.
+            let _ = req.reply.send(Completion {
+                user_data: req.user_data,
+                result: Err(IoError::DeviceClosed),
+                latency: Duration::ZERO,
+            });
+            continue;
+        }
         let now = Instant::now();
         let base = match req.op {
             IoOp::Read => shared.profile.read_latency,
             IoOp::Write => shared.profile.write_latency,
         };
+        // Fault injection happens at service time: the verdict may inflate
+        // the request's latency (spikes, stalls) and/or doom its outcome.
+        let verdict = shared
+            .fault
+            .read()
+            .as_ref()
+            .map(|inj| inj.assess(req.file, req.offset, req.op))
+            .unwrap_or_default();
         let start = cursor.max(now);
         let bw_done = reserve_bandwidth(&shared, req.buf.len() as u64);
-        let deadline = (start + base).max(bw_done);
+        let deadline = (start + base).max(bw_done) + verdict.extra_latency;
         cursor = deadline;
         // Service = what the device model charges this request; queueing =
         // how long it sat in the submission queue before a channel picked
@@ -461,8 +532,12 @@ fn channel_worker(shared: Arc<Shared>, rx: Receiver<Request>) {
         let queue_ns = now.saturating_duration_since(req.submitted).as_nanos() as u64;
         shared.stats.record_op(service_ns, queue_ns);
 
-        // Real data movement.
-        let result = do_copy(&shared, &req);
+        // Real data movement (unless the injector doomed this request —
+        // media errors still pay their modeled latency below).
+        let result = match verdict.fail {
+            Some(e) => Err(e),
+            None => do_copy(&shared, &req),
+        };
 
         // Sleep off accumulated virtual time beyond the granularity, or
         // fully when the queue is idle (so a lone synchronous caller sees
@@ -485,24 +560,6 @@ fn channel_worker(shared: Arc<Shared>, rx: Receiver<Request>) {
 }
 
 fn do_copy(shared: &Shared, req: &Request) -> Result<Vec<u8>, IoError> {
-    if req.op == IoOp::Read {
-        let every = shared
-            .fault_every
-            .load(std::sync::atomic::Ordering::Relaxed);
-        let target = shared.fault_file.load(std::sync::atomic::Ordering::Relaxed);
-        if every > 0 && (target == u32::MAX || target == req.file) {
-            let n = shared
-                .read_counter
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
-                + 1;
-            if n.is_multiple_of(every) {
-                return Err(IoError::DeviceFault {
-                    file: req.file,
-                    offset: req.offset,
-                });
-            }
-        }
-    }
     let base = {
         let files = shared.files.lock();
         let meta = files
@@ -632,6 +689,59 @@ mod tests {
         assert_eq!(failures, 3, "every 3rd read fails");
         ssd.inject_read_faults(0);
         assert!(ssd.read_blocking(f, 0, &mut out, true).is_ok());
+    }
+
+    #[test]
+    fn shutdown_fails_blocking_io_without_panicking() {
+        let ssd = SimSsd::new(SsdProfile::instant());
+        let f = ssd.create_file(4096);
+        ssd.shutdown();
+        assert!(ssd.is_closed());
+        let mut out = vec![0u8; 512];
+        assert_eq!(
+            ssd.read_blocking(f, 0, &mut out, true).unwrap_err(),
+            IoError::DeviceClosed
+        );
+        assert_eq!(
+            ssd.write_blocking(f, 0, &out, true).unwrap_err(),
+            IoError::DeviceClosed
+        );
+        // Idempotent.
+        ssd.shutdown();
+    }
+
+    #[test]
+    fn fault_plan_probabilistic_reads_fail_and_clear() {
+        let ssd = SimSsd::new(SsdProfile::instant());
+        let f = ssd.create_file(64 * 512);
+        ssd.set_fault_plan(crate::FaultPlan::new(42).with_read_fault_prob(0.5));
+        let mut out = vec![0u8; 512];
+        let failures = (0..64u64)
+            .filter(|i| ssd.read_blocking(f, (i % 8) * 512, &mut out, true).is_err())
+            .count();
+        assert!(
+            (10..=54).contains(&failures),
+            "~50% should fail: {failures}"
+        );
+        ssd.clear_faults();
+        assert!(ssd.read_blocking(f, 0, &mut out, true).is_ok());
+    }
+
+    #[test]
+    fn latency_spikes_slow_requests_down() {
+        let ssd = SimSsd::new(SsdProfile::instant());
+        let f = ssd.create_file(4096);
+        ssd.set_fault_plan(
+            crate::FaultPlan::new(1).with_latency_spikes(1.0, Duration::from_millis(5)),
+        );
+        let mut out = vec![0u8; 512];
+        let t0 = Instant::now();
+        ssd.read_blocking(f, 0, &mut out, true).unwrap();
+        assert!(
+            t0.elapsed() >= Duration::from_millis(4),
+            "spike should add ~5ms, took {:?}",
+            t0.elapsed()
+        );
     }
 
     #[test]

@@ -63,7 +63,7 @@ proptest! {
             assert_eq!(&buf[..], &data[s * 512..(s + 1) * 512]);
             seen[c.user_data as usize] = true;
             count += 1;
-        });
+        }).unwrap();
         prop_assert_eq!(count, sectors.len());
         prop_assert!(seen.iter().all(|&s| s));
     }
@@ -129,13 +129,14 @@ fn concurrent_sync_and_async_traffic() {
                     .is_err()
                 {
                     ring.submit();
-                    ring.wait_completion();
+                    ring.wait_completion().unwrap();
                 }
                 ring.submit();
             }
             ring.drain(|c| {
                 c.result.unwrap();
-            });
+            })
+            .unwrap();
         });
     })
     .unwrap();

@@ -37,7 +37,7 @@ fn main() {
             submitted += 1;
         }
         ring.submit();
-        if let Some(c) = ring.wait_completion() {
+        if let Some(c) = ring.wait_completion().expect("device alive") {
             c.result.unwrap();
             done += 1;
         }

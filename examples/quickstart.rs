@@ -52,17 +52,13 @@ fn main() {
         feature_buffer_slots: 16_384,
         ..Default::default()
     };
-    let mut pipeline = Pipeline::new(
-        dataset,
-        ModelKind::GraphSage,
-        32, // hidden dimension
-        config,
-        GpuDevice::rtx3090(),
-        true, // GPU-based training
-        governor,
-        page_cache,
-    )
-    .expect("pipeline construction");
+    let mut pipeline = Pipeline::builder(dataset, GpuDevice::rtx3090())
+        .model(ModelKind::GraphSage, 32) // architecture, hidden dimension
+        .config(config)
+        .governor(governor)
+        .page_cache(page_cache)
+        .build()
+        .expect("pipeline construction");
 
     // 4. Train a few epochs, watching loss fall and accuracy rise.
     println!("initial accuracy: {:.1}%", pipeline.evaluate() * 100.0);

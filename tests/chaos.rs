@@ -1,0 +1,194 @@
+//! Chaos e2e: training under seeded storage fault storms.
+//!
+//! Three acceptance properties of the fault-tolerance subsystem:
+//! an epoch completes (with correct accounting and visible retry/skip
+//! telemetry) under a ≥5% read-fault + latency-spike plan; persistent
+//! failures degrade gracefully into skipped batches instead of hangs or
+//! panics, and training recovers once the storm clears; and a mid-run
+//! checkpoint resumes to bit-identical final weights.
+
+use gnndrive::core::{GnnDriveConfig, Pipeline, TrainCheckpoint, TrainingSystem};
+use gnndrive::device::GpuDevice;
+use gnndrive::graph::{Dataset, DatasetSpec};
+use gnndrive::nn::ModelKind;
+use gnndrive::storage::{FaultPlan, MemoryGovernor, PageCache, RetryPolicy, SimSsd, SsdProfile};
+use gnndrive::telemetry;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A small planted-label dataset on its own simulated SSD, so each test's
+/// fault plan cannot leak into a neighbor running in the same process.
+fn dataset(seed: u64) -> Arc<Dataset> {
+    let ssd = SimSsd::new(SsdProfile::pm883_repro());
+    Arc::new(Dataset::build(
+        DatasetSpec {
+            name: format!("chaos-{seed}"),
+            num_nodes: 4_000,
+            num_edges: 40_000,
+            feat_dim: 32,
+            num_classes: 8,
+            intra_prob: 0.8,
+            feature_signal: 1.3,
+            train_fraction: 0.2,
+            seed,
+        },
+        ssd,
+    ))
+}
+
+fn pipeline(ds: &Arc<Dataset>, reorder: bool, retry: RetryPolicy) -> Pipeline {
+    let gov = MemoryGovernor::unlimited();
+    let cache = PageCache::new(Arc::clone(&ds.ssd), Arc::clone(&gov));
+    let cfg = GnnDriveConfig {
+        reorder,
+        retry,
+        fanouts: vec![4, 4],
+        batch_size: 32,
+        feature_buffer_slots: 16_384,
+        seed: 7,
+        ..Default::default()
+    };
+    Pipeline::builder(Arc::clone(ds), GpuDevice::rtx3090())
+        .model(ModelKind::GraphSage, 16)
+        .config(cfg)
+        .governor(gov)
+        .page_cache(cache)
+        .build()
+        .expect("pipeline")
+}
+
+#[test]
+fn epoch_completes_under_seeded_fault_storm() {
+    let ds = dataset(1);
+    ds.ssd.set_fault_plan(
+        FaultPlan::new(0xC4A05)
+            .with_read_fault_prob(0.05)
+            .with_latency_spikes(0.10, Duration::from_micros(200))
+            .on_file(ds.features_file.id),
+    );
+    let faults_before = telemetry::counter("storage.faults").get();
+    let spikes_before = telemetry::counter("storage.latency_spikes").get();
+    let retries_before = telemetry::counter("core.extract.retries").get();
+
+    // Extra attempts: at 5% per read the default 3 still loses the odd
+    // batch; 6 makes completed-epoch progress all but certain while the
+    // accounting below stays valid either way.
+    let mut p = pipeline(&ds, true, RetryPolicy::default().with_max_attempts(6));
+    let monitor = telemetry::Monitor::start(Duration::from_millis(10));
+    let r = p.train_epoch(0, Some(10));
+    let series = monitor.stop();
+    ds.ssd.clear_faults();
+
+    // Accounting must balance: every planned batch is either trained or
+    // explicitly recorded as skipped — never silently lost.
+    assert_eq!(
+        r.batches + r.failed_batches,
+        r.full_batches.min(10),
+        "trained + skipped must cover the planned range: {r:?}"
+    );
+    assert!(r.batches >= 8, "storm should not stop the epoch: {r:?}");
+    assert!(r.loss.is_finite() && r.loss > 0.0);
+    assert!(
+        telemetry::counter("storage.faults").get() > faults_before,
+        "the 5% plan must actually fire"
+    );
+    assert!(
+        telemetry::counter("storage.latency_spikes").get() > spikes_before,
+        "the latency-spike plan must actually fire"
+    );
+    assert!(
+        telemetry::counter("core.extract.retries").get() > retries_before,
+        "injected faults must surface as extractor retries"
+    );
+
+    // The retry/skip story must be visible in the run-report artifact.
+    let report = gnndrive_bench::collect_report("chaos.fault_storm", "chaos e2e", series);
+    let text = report.to_json().to_json_string();
+    let parsed = telemetry::RunReport::parse(&text).expect("valid report JSON");
+    let names = parsed.metric_names();
+    for required in [
+        "storage.faults",
+        "storage.latency_spikes",
+        "core.extract.retries",
+        "pipeline.batches_skipped",
+        "pipeline.batches_trained",
+    ] {
+        assert!(
+            names.contains(&required),
+            "run report must carry {required}: {names:?}"
+        );
+    }
+}
+
+#[test]
+fn persistent_failures_degrade_gracefully_and_recover() {
+    let ds = dataset(2);
+    ds.ssd.set_fault_plan(
+        FaultPlan::new(9)
+            .with_read_fault_prob(1.0)
+            .on_file(ds.features_file.id),
+    );
+    let skipped_before = telemetry::counter("pipeline.batches_skipped").get();
+
+    let mut p = pipeline(&ds, true, RetryPolicy::none());
+    let r = p.train_epoch(0, Some(4));
+    assert_eq!(r.batches, 0, "no batch can train through a total storm");
+    assert_eq!(r.failed_batches, r.full_batches.min(4));
+    assert!(r.error.is_some(), "the first failure must be reported");
+    assert!(
+        telemetry::counter("pipeline.batches_skipped").get() >= skipped_before + 4,
+        "skips must be counted"
+    );
+
+    // The same pipeline recovers as soon as the storm clears: the feature
+    // buffer was left consistent by every aborted batch.
+    ds.ssd.clear_faults();
+    let r2 = p.train_epoch(1, Some(4));
+    assert!(r2.error.is_none(), "{:?}", r2.error);
+    assert_eq!(r2.batches, r2.full_batches.min(4));
+    assert_eq!(r2.failed_batches, 0);
+}
+
+#[test]
+fn checkpoint_resume_reaches_identical_weights() {
+    let ds = dataset(3);
+    // reorder=false restores submission order, making the trajectory a
+    // pure function of (weights, optimizer state, batch plan) — exactly
+    // what a checkpoint freezes.
+    let mut uninterrupted = pipeline(&ds, false, RetryPolicy::default());
+    let mut interrupted = pipeline(&ds, false, RetryPolicy::default());
+
+    let r = uninterrupted.train_epoch(0, Some(12));
+    assert!(r.error.is_none(), "{:?}", r.error);
+
+    // Train half the range, snapshot, and round-trip the snapshot through
+    // its serialized container — the path a crash-recovery actually takes.
+    let first = interrupted.train_epoch_range(0, 0, Some(6)).report;
+    assert!(first.error.is_none(), "{:?}", first.error);
+    let ck = interrupted.checkpoint(0, 6);
+    let ck = TrainCheckpoint::from_bytes(&ck.to_bytes()).expect("container round-trip");
+    assert_eq!((ck.epoch, ck.next_batch), (0, 6));
+
+    // A fresh pipeline (fresh random init) restored from the snapshot must
+    // finish the epoch exactly like the uninterrupted run...
+    let mut resumed = pipeline(&ds, false, RetryPolicy::default());
+    resumed.restore(&ck).expect("restore");
+    let rest = resumed
+        .train_epoch_range(0, ck.next_batch as usize, Some(6))
+        .report;
+    assert!(rest.error.is_none(), "{:?}", rest.error);
+    assert_eq!(
+        resumed.model_mut().save(),
+        uninterrupted.model_mut().save(),
+        "resumed weights must be bit-identical to the uninterrupted run"
+    );
+
+    // ...and like the pipeline that kept running without the restore.
+    let second = interrupted.train_epoch_range(0, 6, Some(6)).report;
+    assert!(second.error.is_none(), "{:?}", second.error);
+    assert_eq!(
+        interrupted.model_mut().save(),
+        resumed.model_mut().save(),
+        "a restore must be indistinguishable from never crashing"
+    );
+}

@@ -135,17 +135,13 @@ fn reordering_does_not_change_what_is_learned() {
             seed: 1,
             ..Default::default()
         };
-        let mut p = Pipeline::new(
-            Arc::clone(&ds),
-            ModelKind::GraphSage,
-            16,
-            cfg,
-            GpuDevice::rtx3090(),
-            true,
-            gov,
-            cache,
-        )
-        .unwrap();
+        let mut p = Pipeline::builder(Arc::clone(&ds), GpuDevice::rtx3090())
+            .model(ModelKind::GraphSage, 16)
+            .config(cfg)
+            .governor(gov)
+            .page_cache(cache)
+            .build()
+            .unwrap();
         for e in 0..4 {
             p.train_epoch(e, None);
         }
