@@ -299,7 +299,10 @@ impl Ginex {
     /// returns the rows in input order.
     fn parallel_sync_load(&self, nodes: &[NodeId]) -> Vec<(NodeId, Vec<f32>)> {
         let cursor = AtomicUsize::new(0);
-        let results = parking_lot::Mutex::new(Vec::with_capacity(nodes.len()));
+        let results = gnndrive_sync::OrderedMutex::new(
+            gnndrive_sync::LockRank::Pipeline,
+            Vec::with_capacity(nodes.len()),
+        );
         crossbeam::scope(|s| {
             for _ in 0..self.cfg.io_threads.max(1) {
                 let cursor = &cursor;
@@ -333,7 +336,10 @@ impl Ginex {
             Arc::clone(&self.topo),
             self.cfg.fanouts.clone(),
         ));
-        let results = parking_lot::Mutex::new(Vec::with_capacity(range.len()));
+        let results = gnndrive_sync::OrderedMutex::new(
+            gnndrive_sync::LockRank::Pipeline,
+            Vec::with_capacity(range.len()),
+        );
         let cursor = AtomicUsize::new(range.start);
         crossbeam::scope(|s| {
             for _ in 0..self.cfg.num_samplers.max(1) {

@@ -141,7 +141,8 @@ impl TrainingSystem for PygPlus {
         let sample_nanos = AtomicU64::new(0);
         let extract_nanos = AtomicU64::new(0);
         let failed = Arc::new(AtomicBool::new(false));
-        let error = parking_lot::Mutex::new(None::<String>);
+        let error =
+            gnndrive_sync::OrderedMutex::new(gnndrive_sync::LockRank::Pipeline, None::<String>);
         let io_before = self.ds.ssd.stats().snapshot();
         let dim = self.ds.spec.feat_dim;
         let mut train_secs = 0.0;

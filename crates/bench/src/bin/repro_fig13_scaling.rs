@@ -21,26 +21,33 @@ fn main() {
     for gpu in [true, false] {
         let mut points = Vec::new();
         for &w in &workers_sweep {
-            let y = match build_gnndrive_workers(&sc, &ds, w, gpu, true) {
-                Ok(mut pipelines) => {
-                    // Split the training set into equal segments.
-                    let segments =
-                        gnndrive_core::parallel::split_segments(&ds.train_idx, w, sc.batch_size);
-                    for (p, seg) in pipelines.iter_mut().zip(segments) {
-                        p.set_train_segment(seg);
-                    }
-                    let pcfg = ParallelConfig {
-                        workers: w,
-                        ..Default::default()
-                    };
-                    let per_worker_cap = knobs.max_batches.map(|m| (m / w).max(2));
-                    let report = run_data_parallel(&mut pipelines, &pcfg, 0, per_worker_cap);
-                    // Extrapolate: measured wall covers cap×w batches of
-                    // the full epoch.
-                    let full: usize = report.per_worker.iter().map(|r| r.full_batches).sum();
-                    let done: usize = report.per_worker.iter().map(|r| r.batches).sum();
-                    report.epoch_wall.as_secs_f64() * full.max(1) as f64 / done.max(1) as f64
+            let run = || -> Result<f64, String> {
+                let mut pipelines =
+                    build_gnndrive_workers(&sc, &ds, w, gpu, true).map_err(|e| e.to_string())?;
+                // Split the training set into equal segments.
+                let segments =
+                    gnndrive_core::parallel::split_segments(&ds.train_idx, w, sc.batch_size)
+                        .map_err(|e| e.to_string())?;
+                for (p, seg) in pipelines.iter_mut().zip(segments) {
+                    p.set_train_segment(seg);
                 }
+                let pcfg = ParallelConfig {
+                    workers: w,
+                    ..Default::default()
+                };
+                let per_worker_cap = knobs.max_batches.map(|m| (m / w).max(2));
+                let report = run_data_parallel(&mut pipelines, &pcfg, 0, per_worker_cap);
+                for (worker, msg) in &report.failed {
+                    eprintln!("{w} workers (gpu={gpu}): worker {worker} failed: {msg}");
+                }
+                // Extrapolate: measured wall covers cap×w batches of
+                // the full epoch.
+                let full: usize = report.per_worker.iter().map(|r| r.full_batches).sum();
+                let done: usize = report.per_worker.iter().map(|r| r.batches).sum();
+                Ok(report.epoch_wall.as_secs_f64() * full.max(1) as f64 / done.max(1) as f64)
+            };
+            let y = match run() {
+                Ok(v) => v,
                 Err(e) => {
                     eprintln!("{w} workers (gpu={gpu}): {e}");
                     f64::NAN

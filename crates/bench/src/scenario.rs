@@ -6,7 +6,7 @@ use gnndrive_device::GpuDevice;
 use gnndrive_graph::{catalog::scaled_memory_budget, Dataset, MiniDataset};
 use gnndrive_nn::ModelKind;
 use gnndrive_storage::{MemoryGovernor, PageCache, SimSsd, SsdProfile};
-use parking_lot::Mutex;
+use gnndrive_sync::{LockRank, OrderedMutex};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -108,7 +108,8 @@ impl Scenario {
 }
 
 type DatasetKey = (String, usize, u64);
-static DATASET_CACHE: Mutex<Option<HashMap<DatasetKey, Arc<Dataset>>>> = Mutex::new(None);
+static DATASET_CACHE: OrderedMutex<Option<HashMap<DatasetKey, Arc<Dataset>>>> =
+    OrderedMutex::new(LockRank::Pipeline, None);
 
 /// Build (or fetch from the process cache) the dataset of a scenario.
 /// Each cached dataset owns its own simulated SSD.

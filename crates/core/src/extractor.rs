@@ -63,6 +63,9 @@ pub enum ExtractError {
     /// A node another extractor was loading was aborted by that extractor;
     /// this batch must be abandoned (its planner will re-load next time).
     DependencyAborted(NodeId),
+    /// The host→device transfer engine hung up with transfers still in
+    /// flight (its thread is gone); the batch cannot be published.
+    TransferEngineGone,
 }
 
 impl std::fmt::Display for ExtractError {
@@ -71,6 +74,9 @@ impl std::fmt::Display for ExtractError {
             ExtractError::Io(e) => write!(f, "extraction I/O failed: {e}"),
             ExtractError::DependencyAborted(n) => {
                 write!(f, "dependency load aborted for node {n}")
+            }
+            ExtractError::TransferEngineGone => {
+                write!(f, "transfer engine shut down with transfers in flight")
             }
         }
     }
@@ -81,6 +87,7 @@ impl std::error::Error for ExtractError {
         match self {
             ExtractError::Io(e) => Some(e),
             ExtractError::DependencyAborted(_) => None,
+            ExtractError::TransferEngineGone => None,
         }
     }
 }
@@ -273,6 +280,11 @@ pub fn extract_batch(
             let buf = match c.result {
                 Ok(b) => b,
                 Err(_) => {
+                    // The failed async attempt makes this re-read a retry:
+                    // count it up front so fault recovery stays visible in
+                    // `core.extract.retries` even when the blocking read
+                    // succeeds immediately.
+                    telemetry::counter("core.extract.retries").inc();
                     let mut retry = vec![0u8; group.window_len];
                     read_with_retries(ctx, group.window_start, &mut retry)?;
                     retry
@@ -415,9 +427,16 @@ pub fn extract_batch(
     if ctx.transfer.is_some() {
         let _span = telemetry::span("transfer", sample.batch_id);
         while inflight_transfers > 0 {
-            let done = {
+            let recv = {
                 let _io = telemetry::state(telemetry::State::IoWait);
-                xfer_rx.recv().expect("transfer engine alive")
+                xfer_rx.recv()
+            };
+            let done = match recv {
+                Ok(done) => done,
+                Err(_) => {
+                    ctx.fb.abort_batch(&plan, &sample.input_nodes);
+                    return Err(ExtractError::TransferEngineGone);
+                }
             };
             ctx.fb.publish(done.user_data as NodeId);
             inflight_transfers -= 1;

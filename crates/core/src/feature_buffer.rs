@@ -26,8 +26,8 @@ use crate::config::GnnDriveConfig;
 use gnndrive_device::FeatureSlab;
 use gnndrive_graph::NodeId;
 use gnndrive_storage::LruList;
+use gnndrive_sync::{LockRank, OrderedCondvar, OrderedMutex};
 use gnndrive_telemetry as telemetry;
-use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -127,9 +127,9 @@ impl FeatureBufferStats {
 /// See module docs.
 pub struct FeatureBufferManager {
     slab: Arc<FeatureSlab>,
-    inner: Mutex<Inner>,
-    slot_available: Condvar,
-    data_ready: Condvar,
+    inner: OrderedMutex<Inner>,
+    slot_available: OrderedCondvar,
+    data_ready: OrderedCondvar,
     timeout: Duration,
     stats: FeatureBufferStats,
     /// Registry gauge tracking the standby-list occupancy (free/retired
@@ -147,21 +147,24 @@ impl FeatureBufferManager {
         }
         FeatureBufferManager {
             slab,
-            inner: Mutex::new(Inner {
-                map: vec![
-                    Entry {
-                        slot: NO_SLOT,
-                        ref_count: 0,
-                        valid: false,
-                        aborted: false,
-                    };
-                    num_nodes
-                ],
-                reverse: vec![NO_SLOT; num_slots],
-                standby,
-            }),
-            slot_available: Condvar::new(),
-            data_ready: Condvar::new(),
+            inner: OrderedMutex::new(
+                LockRank::Buffer,
+                Inner {
+                    map: vec![
+                        Entry {
+                            slot: NO_SLOT,
+                            ref_count: 0,
+                            valid: false,
+                            aborted: false,
+                        };
+                        num_nodes
+                    ],
+                    reverse: vec![NO_SLOT; num_slots],
+                    standby,
+                },
+            ),
+            slot_available: OrderedCondvar::new(),
+            data_ready: OrderedCondvar::new(),
             timeout: config.slot_wait_timeout,
             stats: FeatureBufferStats::default(),
             m_standby: {

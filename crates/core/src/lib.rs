@@ -76,7 +76,7 @@ pub use config::GnnDriveConfig;
 pub use error::Error;
 pub use extractor::{extract_batch, ExtractError, ExtractedBatch};
 pub use feature_buffer::{ExtractPlan, FeatureBufferManager};
-pub use parallel::{run_data_parallel, ParallelConfig, ParallelReport};
+pub use parallel::{run_data_parallel, ParallelConfig, ParallelReport, SegmentError};
 pub use pipeline::{BuildError, EpochStats, Pipeline};
 pub use staging::StagingBuffer;
 pub use system::{evaluate_model, EpochReport, TrainingSystem};

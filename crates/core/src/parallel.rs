@@ -13,8 +13,8 @@ use crate::pipeline::Pipeline;
 use crate::system::EpochReport;
 use gnndrive_graph::NodeId;
 use gnndrive_nn::GnnModel;
+use gnndrive_sync::{LockRank, OrderedCondvar, OrderedMutex};
 use gnndrive_tensor::Matrix;
-use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -44,7 +44,35 @@ pub struct ParallelReport {
     /// Wall time of the slowest worker (= the epoch time).
     pub epoch_wall: Duration,
     pub per_worker: Vec<EpochReport>,
+    /// Workers whose epoch panicked: `(worker index, panic message)`.
+    /// A failed worker leaves the gradient barrier (so survivors finish
+    /// their segments) and contributes no [`EpochReport`].
+    pub failed: Vec<(usize, String)>,
 }
+
+/// `train_idx` cannot be split into the requested worker segments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentError {
+    pub train_nodes: usize,
+    pub workers: usize,
+    pub batch_size: usize,
+}
+
+impl std::fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot split {} training nodes into {} segments of at least one \
+             {}-node batch each; reduce workers to at most {}",
+            self.train_nodes,
+            self.workers,
+            self.batch_size,
+            (self.train_nodes / self.batch_size.max(1)).max(1)
+        )
+    }
+}
+
+impl std::error::Error for SegmentError {}
 
 struct SyncState {
     active: usize,
@@ -56,8 +84,8 @@ struct SyncState {
 
 /// Barrier-style gradient all-reduce across worker replicas.
 pub struct GradSync {
-    inner: Mutex<SyncState>,
-    cv: Condvar,
+    inner: OrderedMutex<SyncState>,
+    cv: OrderedCondvar,
     per_step_cost: Duration,
 }
 
@@ -69,19 +97,22 @@ impl GradSync {
                 / cfg.interconnect_bandwidth.max(1) as u128) as u64,
         );
         Arc::new(GradSync {
-            inner: Mutex::new(SyncState {
-                active: cfg.workers,
-                arrived: 0,
-                generation: 0,
-                accum: Vec::new(),
-                result: Vec::new(),
-            }),
-            cv: Condvar::new(),
+            inner: OrderedMutex::new(
+                LockRank::Sync,
+                SyncState {
+                    active: cfg.workers,
+                    arrived: 0,
+                    generation: 0,
+                    accum: Vec::new(),
+                    result: Vec::new(),
+                },
+            ),
+            cv: OrderedCondvar::new(),
             per_step_cost: cfg.sync_latency + wire,
         })
     }
 
-    fn finalize_round(st: &mut SyncState, cv: &Condvar) {
+    fn finalize_round(st: &mut SyncState, cv: &OrderedCondvar) {
         let n = st.arrived as f32;
         for a in &mut st.accum {
             a.scale(1.0 / n);
@@ -137,15 +168,33 @@ impl GradSync {
 
 /// Split `train_idx` into `workers` equal segments (remainder truncated so
 /// every worker runs the same number of synchronized steps).
-pub fn split_segments(train_idx: &[NodeId], workers: usize, batch_size: usize) -> Vec<Vec<NodeId>> {
-    let per = (train_idx.len() / workers / batch_size).max(1) * batch_size;
-    (0..workers)
+///
+/// Errors when the training set cannot give every worker at least one full
+/// batch (`workers > train_idx.len() / batch_size`): the old behaviour
+/// silently produced empty or under-sized tail segments, which meant some
+/// replicas ran zero synchronized steps while still counting toward the
+/// scalability figure.
+pub fn split_segments(
+    train_idx: &[NodeId],
+    workers: usize,
+    batch_size: usize,
+) -> Result<Vec<Vec<NodeId>>, SegmentError> {
+    let batch = batch_size.max(1);
+    if workers == 0 || train_idx.len() / batch < workers {
+        return Err(SegmentError {
+            train_nodes: train_idx.len(),
+            workers,
+            batch_size: batch,
+        });
+    }
+    let per = (train_idx.len() / workers / batch) * batch;
+    Ok((0..workers)
         .map(|w| {
-            let s = (w * per).min(train_idx.len());
-            let e = ((w + 1) * per).min(train_idx.len());
+            let s = w * per;
+            let e = (w + 1) * per;
             train_idx[s..e].to_vec()
         })
-        .collect()
+        .collect())
 }
 
 /// Run one data-parallel epoch over pre-built worker pipelines.
@@ -168,29 +217,53 @@ pub fn run_data_parallel(
     let sync = GradSync::new(pcfg, grad_bytes);
     gnndrive_telemetry::set_gpu_count(pcfg.workers);
 
+    /// Guarantees `GradSync::leave` runs exactly once per worker, even when
+    /// the worker's epoch panics — otherwise the surviving replicas would
+    /// wait forever at the gradient barrier for a peer that is gone.
+    struct LeaveGuard<'a>(&'a GradSync);
+    impl Drop for LeaveGuard<'_> {
+        fn drop(&mut self) {
+            self.0.leave();
+        }
+    }
+
     let t0 = Instant::now();
-    let mut reports: Vec<Option<EpochReport>> = Vec::new();
-    crossbeam::scope(|s| {
+    let mut reports: Vec<EpochReport> = Vec::new();
+    let mut failed: Vec<(usize, String)> = Vec::new();
+    let scope_result = crossbeam::scope(|s| {
         let mut handles = Vec::new();
         for p in pipelines.iter_mut() {
             let sync = Arc::clone(&sync);
             handles.push(s.spawn(move |_| {
-                let report = p
-                    .train_epoch_with_sync(epoch, max_batches, |m| sync.all_reduce(m))
-                    .report;
-                sync.leave();
-                report
+                let _leave = LeaveGuard(&sync);
+                p.train_epoch_with_sync(epoch, max_batches, |m| sync.all_reduce(m))
+                    .report
             }));
         }
-        for h in handles {
-            reports.push(Some(h.join().expect("worker")));
+        for (w, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(report) => reports.push(report),
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| payload.downcast_ref::<&str>().copied())
+                        .unwrap_or("worker panicked")
+                        .to_string();
+                    gnndrive_telemetry::counter("parallel.worker_failures").inc();
+                    failed.push((w, msg));
+                }
+            }
         }
-    })
-    .expect("parallel scope");
+    });
+    // The scope itself only errors if a still-running child panicked, and
+    // every child was joined above.
+    debug_assert!(scope_result.is_ok());
 
     ParallelReport {
         epoch_wall: t0.elapsed(),
-        per_worker: reports.into_iter().flatten().collect(),
+        per_worker: reports,
+        failed,
     }
 }
 
@@ -201,12 +274,29 @@ mod tests {
     #[test]
     fn segments_are_equal_and_batch_aligned() {
         let idx: Vec<NodeId> = (0..1000).collect();
-        let segs = split_segments(&idx, 4, 32);
+        let segs = split_segments(&idx, 4, 32).unwrap();
         assert_eq!(segs.len(), 4);
         assert!(segs.iter().all(|s| s.len() == segs[0].len()));
         assert_eq!(segs[0].len() % 32, 0);
         // Disjoint.
         assert!(segs[0].iter().all(|n| !segs[1].contains(n)));
+    }
+
+    #[test]
+    fn oversubscribed_split_errors_instead_of_empty_segments() {
+        // 100 nodes / batch 32 = 3 full batches; 8 workers used to get
+        // empty tail segments, now it is a structured error.
+        let idx: Vec<NodeId> = (0..100).collect();
+        let err = split_segments(&idx, 8, 32).unwrap_err();
+        assert_eq!(err.train_nodes, 100);
+        assert_eq!(err.workers, 8);
+        assert!(err.to_string().contains("at most 3"));
+        // Zero workers is also an error, not a panic.
+        assert!(split_segments(&idx, 0, 32).is_err());
+        // The boundary case still works: exactly one batch per worker.
+        let segs = split_segments(&idx, 3, 32).unwrap();
+        assert_eq!(segs.len(), 3);
+        assert!(segs.iter().all(|s| s.len() == 32));
     }
 
     #[test]

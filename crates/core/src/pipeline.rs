@@ -22,6 +22,7 @@ use gnndrive_graph::{Dataset, NodeId};
 use gnndrive_nn::{build_model, GnnModel};
 use gnndrive_sampling::{BatchPlan, MiniBatchSample, MmapTopo, NeighborSampler, TopoReader};
 use gnndrive_storage::{MemCharge, MemoryGovernor, OomError, PageCache};
+use gnndrive_sync::{LockRank, OrderedMutex};
 use gnndrive_telemetry::{self as telemetry, HistSummary, State, ThreadClass};
 use gnndrive_tensor::{Adam, Matrix, Optimizer};
 use std::collections::BTreeMap;
@@ -48,8 +49,18 @@ impl EpochStats {
 
 /// Whether the feature buffer lives on the device or in host memory.
 enum FeatureBufferHome {
-    Device(#[allow(dead_code)] DeviceAlloc),
-    Host(#[allow(dead_code)] MemCharge),
+    Device(DeviceAlloc),
+    Host(MemCharge),
+}
+
+impl FeatureBufferHome {
+    /// Bytes reserved for the feature buffer, wherever it lives.
+    fn bytes(&self) -> u64 {
+        match self {
+            FeatureBufferHome::Device(a) => a.bytes(),
+            FeatureBufferHome::Host(c) => c.bytes(),
+        }
+    }
 }
 
 /// A fully wired GNNDrive training instance over one dataset and device.
@@ -63,7 +74,7 @@ pub struct Pipeline {
     topo: Arc<dyn TopoReader>,
     model: GnnModel,
     opt: Adam,
-    _fb_home: FeatureBufferHome,
+    fb_home: FeatureBufferHome,
     _host_charges: Vec<MemCharge>,
     /// Training set override for data-parallel segments (defaults to the
     /// dataset's full training set).
@@ -186,7 +197,7 @@ impl Pipeline {
             topo,
             model,
             opt: Adam::new(0.003),
-            _fb_home: fb_home,
+            fb_home,
             _host_charges: host_charges,
             train_segment,
         })
@@ -199,6 +210,12 @@ impl Pipeline {
 
     pub fn feature_buffer(&self) -> &Arc<FeatureBufferManager> {
         &self.fb
+    }
+
+    /// Bytes reserved for the feature buffer — against device memory in
+    /// GPU mode, against the host governor in CPU mode.
+    pub fn feature_buffer_bytes(&self) -> u64 {
+        self.fb_home.bytes()
     }
 
     pub fn config(&self) -> &GnnDriveConfig {
@@ -344,9 +361,9 @@ impl Pipeline {
         let h_release = telemetry::histogram_ns("pipeline.release");
         let c_batches = telemetry::counter("pipeline.batches_trained");
         let c_skipped = telemetry::counter("pipeline.batches_skipped");
-        let stage_sample: parking_lot::Mutex<telemetry::Histogram> = Default::default();
-        let stage_extract: parking_lot::Mutex<telemetry::Histogram> = Default::default();
-        let stage_release: parking_lot::Mutex<telemetry::Histogram> = Default::default();
+        let stage_sample = OrderedMutex::new(LockRank::Pipeline, telemetry::Histogram::new());
+        let stage_extract = OrderedMutex::new(LockRank::Pipeline, telemetry::Histogram::new());
+        let stage_release = OrderedMutex::new(LockRank::Pipeline, telemetry::Histogram::new());
         let mut stage_train = telemetry::Histogram::new();
 
         let cursor = AtomicUsize::new(first);
@@ -359,7 +376,7 @@ impl Pipeline {
         let loaded_nodes = AtomicU64::new(0);
         let reused_nodes = AtomicU64::new(0);
         let failed_batches = AtomicUsize::new(0);
-        let first_error: parking_lot::Mutex<Option<String>> = parking_lot::Mutex::new(None);
+        let first_error: OrderedMutex<Option<String>> = OrderedMutex::new(LockRank::Pipeline, None);
         let mut train_secs = 0.0f64;
         let mut loss_sum = 0.0f64;
         let io_before = self.ds.ssd.stats().snapshot();
@@ -594,14 +611,27 @@ impl Pipeline {
                 let started = batch_started[batch.sample.batch_id as usize].load(Ordering::Relaxed);
                 latency.record((t0.elapsed().as_nanos() as u64).saturating_sub(started));
                 // ⑧ hand the original sampled node list to the releaser.
-                release_tx
+                if release_tx
                     .send((batch.sample.batch_id, batch.sample.input_nodes))
-                    .expect("releaser alive");
+                    .is_err()
+                {
+                    // The releaser died (its thread panicked): without it
+                    // slots are never recycled, so stop the epoch cleanly
+                    // instead of deadlocking on an exhausted buffer.
+                    first_error
+                        .lock()
+                        .get_or_insert_with(|| "releaser thread gone".to_string());
+                    break 'train;
+                }
                 g_release_q.set(release_tx.len() as i64);
                 done += 1;
             }
             drop(release_tx);
-            releaser.join().expect("releaser");
+            if releaser.join().is_err() {
+                first_error
+                    .lock()
+                    .get_or_insert_with(|| "releaser thread panicked".to_string());
+            }
         })
         .expect("pipeline scope");
 
@@ -732,7 +762,9 @@ pub fn train_epochs(p: &mut Pipeline, epochs: u64, max_batches: Option<usize>) -
     (0..epochs).map(|e| p.train_epoch(e, max_batches)).collect()
 }
 
-#[allow(dead_code)]
-fn _assert_send(p: Pipeline) -> impl Send {
-    p
-}
+// Pipeline must remain Send: data-parallel workers move replicas across
+// threads (the crossbeam scope in `run_data_parallel`).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Pipeline>()
+};

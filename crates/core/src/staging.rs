@@ -11,14 +11,14 @@
 //! keeps its page-cache room while PyG+'s loses it.
 
 use gnndrive_storage::{MemCharge, MemoryGovernor, OomError};
-use parking_lot::{Condvar, Mutex};
+use gnndrive_sync::{LockRank, OrderedCondvar, OrderedMutex};
 use std::sync::Arc;
 
 /// Byte-credit pool representing the staging region.
 pub struct StagingBuffer {
     capacity: u64,
-    available: Mutex<u64>,
-    freed: Condvar,
+    available: OrderedMutex<u64>,
+    freed: OrderedCondvar,
     /// Governor charge held for the lifetime of the buffer.
     _charge: MemCharge,
 }
@@ -35,8 +35,8 @@ impl StagingBuffer {
         let charge = governor.charge(capacity)?;
         Ok(Arc::new(StagingBuffer {
             capacity,
-            available: Mutex::new(capacity),
-            freed: Condvar::new(),
+            available: OrderedMutex::new(LockRank::Buffer, capacity),
+            freed: OrderedCondvar::new(),
             _charge: charge,
         }))
     }

@@ -47,7 +47,7 @@ impl DeviceMemory {
     }
 
     pub fn used(&self) -> u64 {
-        self.used.load(Ordering::Relaxed)
+        self.used.load(Ordering::Acquire)
     }
 
     pub fn available(&self) -> u64 {
@@ -56,7 +56,12 @@ impl DeviceMemory {
 
     /// Reserve `bytes`, failing with [`DeviceOom`] if they do not fit.
     pub fn alloc(self: &Arc<Self>, bytes: u64) -> Result<DeviceAlloc, DeviceOom> {
-        let mut cur = self.used.load(Ordering::Relaxed);
+        // Acquire/Release pairing, same rationale as the host governor: a
+        // successful CAS publishes the new usage to other allocators, and
+        // loads must observe releases from `DeviceAlloc::drop` on other
+        // threads, or an admission can act on a stale counter and overshoot
+        // capacity on weakly-ordered hardware.
+        let mut cur = self.used.load(Ordering::Acquire);
         loop {
             if cur + bytes > self.capacity {
                 return Err(DeviceOom {
@@ -68,8 +73,8 @@ impl DeviceMemory {
             match self.used.compare_exchange_weak(
                 cur,
                 cur + bytes,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
+                Ordering::AcqRel,
+                Ordering::Acquire,
             ) {
                 Ok(_) => {
                     return Ok(DeviceAlloc {
@@ -98,7 +103,9 @@ impl DeviceAlloc {
 
 impl Drop for DeviceAlloc {
     fn drop(&mut self) {
-        let prev = self.pool.used.fetch_sub(self.bytes, Ordering::Relaxed);
+        // AcqRel: the subtraction releases this allocation's bytes to other
+        // threads' admission loads in `alloc` (which acquire).
+        let prev = self.pool.used.fetch_sub(self.bytes, Ordering::AcqRel);
         debug_assert!(prev >= self.bytes, "device memory release underflow");
     }
 }

@@ -8,7 +8,7 @@
 //! may write which slot when) lives in `gnndrive-core`; the slab is just
 //! the storage.
 
-use parking_lot::RwLock;
+use gnndrive_sync::{LockRank, OrderedRwLock};
 
 /// Row-major gather result: `(rows, cols, data)`. The device crate stays
 /// below the tensor crate in the dependency graph, so gathers return a
@@ -18,14 +18,14 @@ pub type GatherResult = (usize, usize, Vec<f32>);
 /// Fixed-capacity array of feature-row slots.
 pub struct FeatureSlab {
     dim: usize,
-    slots: Vec<RwLock<Box<[f32]>>>,
+    slots: Vec<OrderedRwLock<Box<[f32]>>>,
 }
 
 impl FeatureSlab {
     /// Allocate `num_slots` slots of `dim` floats each (zero-filled).
     pub fn new(num_slots: usize, dim: usize) -> Self {
         let slots = (0..num_slots)
-            .map(|_| RwLock::new(vec![0.0f32; dim].into_boxed_slice()))
+            .map(|_| OrderedRwLock::new(LockRank::Buffer, vec![0.0f32; dim].into_boxed_slice()))
             .collect();
         FeatureSlab { dim, slots }
     }

@@ -9,8 +9,8 @@
 
 use crate::slab::FeatureSlab;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use gnndrive_sync::{LockRank, OrderedMutex};
 use gnndrive_telemetry as telemetry;
-use parking_lot::Mutex;
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -90,7 +90,7 @@ struct Job {
 /// The copy engine. One per simulated device.
 pub struct TransferEngine {
     tx: Option<Sender<Job>>,
-    worker: Mutex<Option<JoinHandle<()>>>,
+    worker: OrderedMutex<Option<JoinHandle<()>>>,
     profile: TransferProfile,
 }
 
@@ -104,7 +104,7 @@ impl TransferEngine {
             .expect("spawn transfer engine");
         Arc::new(TransferEngine {
             tx: Some(tx),
-            worker: Mutex::new(Some(worker)),
+            worker: OrderedMutex::new(LockRank::Ring, Some(worker)),
             profile,
         })
     }
@@ -114,7 +114,10 @@ impl TransferEngine {
     }
 
     /// Submit an asynchronous copy of `data` into `dst[slot]`. Completion
-    /// is delivered on `reply`.
+    /// is delivered on `reply`. If the engine has already shut down the
+    /// job is dropped — including its `reply` sender — so the caller
+    /// observes the failure as a disconnected completion channel rather
+    /// than a panic here.
     pub fn submit(
         &self,
         data: Vec<f32>,
@@ -123,17 +126,15 @@ impl TransferEngine {
         user_data: u64,
         reply: Sender<TransferDone>,
     ) {
-        self.tx
-            .as_ref()
-            .expect("engine not shut down")
-            .send(Job {
+        if let Some(tx) = self.tx.as_ref() {
+            let _ = tx.send(Job {
                 data,
                 dst,
                 slot,
                 user_data,
                 reply,
-            })
-            .expect("transfer engine gone");
+            });
+        }
     }
 
     /// Convenience for synchronous copies (CPU training path).
@@ -163,7 +164,11 @@ impl TransferEngine {
 impl Drop for TransferEngine {
     fn drop(&mut self) {
         self.tx = None;
-        if let Some(h) = self.worker.lock().take() {
+        // Take the handle out under the lock, then join with the guard
+        // dropped — joining a thread while holding a mutex is exactly the
+        // blocking-call-under-lock pattern `cargo xtask lint` forbids.
+        let handle = self.worker.lock().take();
+        if let Some(h) = handle {
             let _ = h.join();
         }
     }

@@ -19,7 +19,7 @@
 //!   [`OomError`].
 
 use crate::error::OomError;
-use parking_lot::Mutex;
+use gnndrive_sync::{LockRank, OrderedMutex};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
@@ -45,7 +45,7 @@ pub struct MemoryGovernor {
     budget: u64,
     used_anonymous: AtomicU64,
     used_page_cache: AtomicU64,
-    reclaimers: Mutex<Vec<Weak<dyn MemoryReclaimer>>>,
+    reclaimers: OrderedMutex<Vec<Weak<dyn MemoryReclaimer>>>,
 }
 
 impl std::fmt::Debug for MemoryGovernor {
@@ -65,7 +65,7 @@ impl MemoryGovernor {
             budget,
             used_anonymous: AtomicU64::new(0),
             used_page_cache: AtomicU64::new(0),
-            reclaimers: Mutex::new(Vec::new()),
+            reclaimers: OrderedMutex::new(LockRank::Governor, Vec::new()),
         })
     }
 
@@ -79,15 +79,15 @@ impl MemoryGovernor {
     }
 
     pub fn used(&self) -> u64 {
-        self.used_anonymous.load(Ordering::Relaxed) + self.used_page_cache.load(Ordering::Relaxed)
+        self.used_anonymous.load(Ordering::Acquire) + self.used_page_cache.load(Ordering::Acquire)
     }
 
     pub fn used_anonymous(&self) -> u64 {
-        self.used_anonymous.load(Ordering::Relaxed)
+        self.used_anonymous.load(Ordering::Acquire)
     }
 
     pub fn used_page_cache(&self) -> u64 {
-        self.used_page_cache.load(Ordering::Relaxed)
+        self.used_page_cache.load(Ordering::Acquire)
     }
 
     /// Bytes still unallocated (before any reclaim).
@@ -113,11 +113,17 @@ impl MemoryGovernor {
     /// cache, which shrinks itself instead of pressuring others.
     pub fn try_charge(self: &Arc<Self>, bytes: u64, kind: ChargeKind) -> Option<MemCharge> {
         let counter = self.counter(kind);
-        let mut cur = counter.load(Ordering::Relaxed);
+        // Acquire/Release pairing: a successful charge publishes the new
+        // byte count to every other thread's admission decision, and the
+        // loads must observe releases performed by `release()` on other
+        // threads — with everything Relaxed, an admission could act on a
+        // stale counter and overshoot the budget on weakly-ordered
+        // hardware (the hazard flagged by `cargo xtask lint`).
+        let mut cur = counter.load(Ordering::Acquire);
         loop {
             let other = match kind {
-                ChargeKind::PageCache => self.used_anonymous.load(Ordering::Relaxed),
-                ChargeKind::Anonymous => self.used_page_cache.load(Ordering::Relaxed),
+                ChargeKind::PageCache => self.used_anonymous.load(Ordering::Acquire),
+                ChargeKind::Anonymous => self.used_page_cache.load(Ordering::Acquire),
             };
             if cur + bytes + other > self.budget {
                 return None;
@@ -125,8 +131,8 @@ impl MemoryGovernor {
             match counter.compare_exchange_weak(
                 cur,
                 cur + bytes,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
+                Ordering::AcqRel,
+                Ordering::Acquire,
             ) {
                 Ok(_) => {
                     return Some(MemCharge {
@@ -207,7 +213,10 @@ impl MemoryGovernor {
 
     fn release(&self, bytes: u64, kind: ChargeKind) {
         let counter = self.counter(kind);
-        let prev = counter.fetch_sub(bytes, Ordering::Relaxed);
+        // AcqRel: the subtraction releases this charge's bytes to other
+        // threads' admission loads (which acquire), so freed memory is
+        // observed together with whatever writes preceded the drop.
+        let prev = counter.fetch_sub(bytes, Ordering::AcqRel);
         debug_assert!(prev >= bytes, "memory release underflow");
     }
 }
@@ -267,7 +276,7 @@ mod tests {
 
     struct FakeCache {
         gov: Arc<MemoryGovernor>,
-        held: Mutex<Vec<MemCharge>>,
+        held: OrderedMutex<Vec<MemCharge>>,
     }
 
     impl MemoryReclaimer for FakeCache {
@@ -289,7 +298,7 @@ mod tests {
         let gov = MemoryGovernor::new(1000);
         let cache = Arc::new(FakeCache {
             gov: Arc::clone(&gov),
-            held: Mutex::new(Vec::new()),
+            held: OrderedMutex::new(LockRank::Buffer, Vec::new()),
         });
         for _ in 0..8 {
             let c = cache.gov.try_charge(100, ChargeKind::PageCache).unwrap();

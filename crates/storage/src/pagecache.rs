@@ -20,8 +20,8 @@ use crate::governor::{ChargeKind, MemCharge, MemoryGovernor, MemoryReclaimer};
 use crate::lru::LruList;
 use crate::retry::RetryPolicy;
 use crate::ssd::{FileHandle, SimSsd};
+use gnndrive_sync::{LockRank, OrderedCondvar, OrderedMutex, OrderedMutexGuard};
 use gnndrive_telemetry as telemetry;
-use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -73,8 +73,8 @@ pub struct PageCache {
     /// Hard cap on resident pages, independent of the governor (models
     /// `vm` limits); usually `usize::MAX` so the governor is the bound.
     max_pages: usize,
-    inner: Mutex<Inner>,
-    ready_cond: Condvar,
+    inner: OrderedMutex<Inner>,
+    ready_cond: OrderedCondvar,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -94,12 +94,12 @@ pub struct PageCache {
     /// cache degrades: the page is served zero-filled (the mmap analog of
     /// SIGBUS would kill training; a hole in a feature table only perturbs
     /// one mini-batch) and `page_cache.read_errors` records it.
-    retry: Mutex<RetryPolicy>,
+    retry: OrderedMutex<RetryPolicy>,
     /// Readahead window in pages (0 disables). Like the kernel, sequential
     /// miss patterns trigger one larger device read covering the window.
     readahead_pages: std::sync::atomic::AtomicUsize,
     /// Per-file last-miss page number for sequential-pattern detection.
-    last_miss: Mutex<std::collections::HashMap<u32, u64>>,
+    last_miss: OrderedMutex<std::collections::HashMap<u32, u64>>,
 }
 
 impl PageCache {
@@ -118,13 +118,16 @@ impl PageCache {
             ssd,
             gov: Arc::clone(&gov),
             max_pages,
-            inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                slots: Vec::new(),
-                free: Vec::new(),
-                lru: LruList::new(0),
-            }),
-            ready_cond: Condvar::new(),
+            inner: OrderedMutex::new(
+                LockRank::PageCache,
+                Inner {
+                    map: HashMap::new(),
+                    slots: Vec::new(),
+                    free: Vec::new(),
+                    lru: LruList::new(0),
+                },
+            ),
+            ready_cond: OrderedCondvar::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -138,9 +141,9 @@ impl PageCache {
             m_retries: telemetry::counter("page_cache.retries"),
             m_read_errors: telemetry::counter("page_cache.read_errors"),
             m_resident: telemetry::gauge("page_cache.resident_pages"),
-            retry: Mutex::new(RetryPolicy::default()),
+            retry: OrderedMutex::new(LockRank::PageCache, RetryPolicy::default()),
             readahead_pages: std::sync::atomic::AtomicUsize::new(4),
-            last_miss: Mutex::new(std::collections::HashMap::new()),
+            last_miss: OrderedMutex::new(LockRank::PageCache, std::collections::HashMap::new()),
         });
         let as_reclaimer: Arc<dyn MemoryReclaimer> = cache.clone();
         gov.register_reclaimer(&as_reclaimer);
@@ -309,11 +312,11 @@ impl PageCache {
     /// lock guard so the caller keeps its critical section.
     fn readahead<'a>(
         &'a self,
-        mut inner: parking_lot::MutexGuard<'a, Inner>,
+        mut inner: OrderedMutexGuard<'a, Inner>,
         file: FileHandle,
         start: u64,
         window: usize,
-    ) -> parking_lot::MutexGuard<'a, Inner> {
+    ) -> OrderedMutexGuard<'a, Inner> {
         let max_page = file.len.div_ceil(PAGE_SIZE as u64);
         let end = (start + window as u64).min(max_page);
         if start >= end {

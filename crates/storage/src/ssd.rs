@@ -21,8 +21,8 @@ use crate::error::IoError;
 use crate::fault::{FaultInjector, FaultPlan};
 use crate::stats::IoStats;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use gnndrive_sync::{LockRank, OrderedMutex, OrderedRwLock};
 use gnndrive_telemetry as telemetry;
-use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -173,14 +173,14 @@ struct FileMeta {
 
 struct Shared {
     profile: SsdProfile,
-    image: RwLock<Vec<u8>>,
-    files: Mutex<Vec<FileMeta>>,
+    image: OrderedRwLock<Vec<u8>>,
+    files: OrderedMutex<Vec<FileMeta>>,
     stats: IoStats,
     /// Global bandwidth reservation cursor: the instant the device link is
     /// next free. Reserving `b` bytes advances it by `b / bandwidth`.
-    bw_cursor: Mutex<Instant>,
+    bw_cursor: OrderedMutex<Instant>,
     /// Active fault-injection schedule, consulted by workers per request.
-    fault: RwLock<Option<FaultInjector>>,
+    fault: OrderedRwLock<Option<FaultInjector>>,
     /// Set once [`SimSsd::shutdown`] begins; workers stop servicing and
     /// reply [`IoError::DeviceClosed`] to anything still queued.
     closed: AtomicBool,
@@ -188,9 +188,9 @@ struct Shared {
 
 /// The simulated SSD. See module docs for the timing model.
 pub struct SimSsd {
-    tx: Mutex<Option<Sender<Request>>>,
+    tx: OrderedMutex<Option<Sender<Request>>>,
     shared: Arc<Shared>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+    workers: OrderedMutex<Vec<JoinHandle<()>>>,
 }
 
 /// Outcome of a non-blocking submission attempt.
@@ -209,11 +209,11 @@ impl SimSsd {
         let (tx, rx) = bounded::<Request>(profile.queue_depth);
         let shared = Arc::new(Shared {
             profile: profile.clone(),
-            image: RwLock::new(Vec::new()),
-            files: Mutex::new(Vec::new()),
+            image: OrderedRwLock::new(LockRank::Storage, Vec::new()),
+            files: OrderedMutex::new(LockRank::Storage, Vec::new()),
             stats: IoStats::default(),
-            bw_cursor: Mutex::new(Instant::now()),
-            fault: RwLock::new(None),
+            bw_cursor: OrderedMutex::new(LockRank::Storage, Instant::now()),
+            fault: OrderedRwLock::new(LockRank::Storage, None),
             closed: AtomicBool::new(false),
         });
         let mut workers = Vec::with_capacity(profile.channels);
@@ -228,9 +228,9 @@ impl SimSsd {
             );
         }
         Arc::new(SimSsd {
-            tx: Mutex::new(Some(tx)),
+            tx: OrderedMutex::new(LockRank::Storage, Some(tx)),
             shared,
-            workers: Mutex::new(workers),
+            workers: OrderedMutex::new(LockRank::Storage, workers),
         })
     }
 

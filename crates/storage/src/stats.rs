@@ -7,8 +7,8 @@
 //! [`IoStatsSnapshot`] stays as the cheap per-device view the pipeline's
 //! epoch accounting diffs against.
 
+use gnndrive_sync::{LockRank, OrderedMutex};
 use gnndrive_telemetry as telemetry;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use telemetry::{Counter, HistSummary, Histogram, HistogramHandle};
 
@@ -34,8 +34,8 @@ pub struct IoStats {
     pub io_wait_nanos: AtomicU64,
     /// Times a submission found the device queue full and had to stall.
     pub queue_full_stalls: AtomicU64,
-    service: Mutex<Histogram>,
-    queueing: Mutex<Histogram>,
+    service: OrderedMutex<Histogram>,
+    queueing: OrderedMutex<Histogram>,
     // Cached registry handles: one relaxed atomic op per event after
     // construction (see telemetry::metrics module docs).
     m_read_ops: Counter,
@@ -57,8 +57,8 @@ impl Default for IoStats {
             write_bytes: AtomicU64::new(0),
             io_wait_nanos: AtomicU64::new(0),
             queue_full_stalls: AtomicU64::new(0),
-            service: Mutex::new(Histogram::new()),
-            queueing: Mutex::new(Histogram::new()),
+            service: OrderedMutex::new(LockRank::Storage, Histogram::new()),
+            queueing: OrderedMutex::new(LockRank::Storage, Histogram::new()),
             m_read_ops: telemetry::counter("ssd.read_ops"),
             m_read_bytes: telemetry::counter("ssd.read_bytes"),
             m_write_ops: telemetry::counter("ssd.write_ops"),

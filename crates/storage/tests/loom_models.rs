@@ -1,0 +1,254 @@
+//! Loom models of the two storage-side concurrency protocols:
+//!
+//! * the [`MemoryGovernor::try_charge`] CAS admission loop
+//!   (`src/governor.rs`) — the budget is never overshot and
+//!   charge/release balances to zero;
+//! * the SimSsd channel-worker handoff (`src/ssd.rs`) — submit /
+//!   complete / deadline bookkeeping never loses a request, and a racing
+//!   shutdown still answers every queued submission.
+//!
+//! Production code uses parking_lot (via gnndrive-sync) and OS-thread
+//! mpsc channels, which loom cannot instrument, so each protocol is
+//! re-stated here over `loom::sync` primitives with the same orderings.
+//! The governor model copies the Acquire/Release choreography verbatim —
+//! that is the part the satellite fix changed and the part a model
+//! checker can actually falsify (all-Relaxed admission can overshoot on
+//! weakly-ordered hardware).
+//!
+//! Run with `RUSTFLAGS="--cfg loom" cargo test -p gnndrive-storage --test
+//! loom_models --release`. Offline, `loom` resolves to the std-threads
+//! stress shim in `target/shims/loom`.
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::{Arc, Condvar, Mutex};
+use loom::thread;
+
+// ---------------------------------------------------------------------
+// Governor admission model
+// ---------------------------------------------------------------------
+
+/// Single-counter re-statement of `MemoryGovernor::try_charge`, same
+/// orderings as `src/governor.rs`.
+struct ModelGovernor {
+    budget: u64,
+    used: AtomicU64,
+}
+
+impl ModelGovernor {
+    fn try_charge(&self, bytes: u64) -> bool {
+        let mut cur = self.used.load(Ordering::Acquire);
+        loop {
+            if cur + bytes > self.budget {
+                return false;
+            }
+            match self.used.compare_exchange_weak(
+                cur,
+                cur + bytes,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn release(&self, bytes: u64) {
+        let prev = self.used.fetch_sub(bytes, Ordering::AcqRel);
+        assert!(prev >= bytes, "release underflow: {prev} - {bytes}");
+    }
+}
+
+/// Two threads race 60-byte charges against a 100-byte budget: at most
+/// one admission may win, and the counter never exceeds the budget at
+/// any observable point.
+#[test]
+fn governor_charge_race_never_overshoots_budget() {
+    loom::model(|| {
+        let gov = Arc::new(ModelGovernor {
+            budget: 100,
+            used: AtomicU64::new(0),
+        });
+        let g2 = Arc::clone(&gov);
+        let t = thread::spawn(move || g2.try_charge(60));
+        let mine = gov.try_charge(60);
+        let theirs = t.join().unwrap();
+        assert!(
+            !(mine && theirs),
+            "both 60-byte charges admitted against a 100-byte budget"
+        );
+        assert!(mine || theirs, "uncontended charge must succeed");
+        assert!(gov.used.load(Ordering::Acquire) <= 100);
+    });
+}
+
+/// Charge/release pairs on two threads balance to zero, and a release on
+/// one thread makes room observed by an admission on the other.
+#[test]
+fn governor_charge_release_balances() {
+    loom::model(|| {
+        let gov = Arc::new(ModelGovernor {
+            budget: 100,
+            used: AtomicU64::new(0),
+        });
+        let g2 = Arc::clone(&gov);
+        let t = thread::spawn(move || {
+            if g2.try_charge(80) {
+                g2.release(80);
+            }
+        });
+        // Retry once after the peer's possible release: with AcqRel the
+        // released bytes must become visible to a later admission.
+        let mut got = gov.try_charge(40);
+        if !got {
+            t.join().unwrap();
+            got = gov.try_charge(40);
+            assert!(got, "release not visible to subsequent charge");
+            gov.release(40);
+        } else {
+            gov.release(40);
+            t.join().unwrap();
+        }
+        assert_eq!(gov.used.load(Ordering::Acquire), 0, "leak after balance");
+    });
+}
+
+// ---------------------------------------------------------------------
+// SimSsd channel-worker handoff model
+// ---------------------------------------------------------------------
+
+/// Mutex+Condvar re-statement of the submit → channel-worker → completion
+/// pipeline in `src/ssd.rs` (real loom has no mpsc, so the queue is
+/// explicit). `closed` mirrors `Shared::closed` with the same
+/// Release-store / Acquire-load pairing used by `shutdown()`.
+struct ModelRing {
+    queue: Mutex<RingState>,
+    submitted: Condvar,
+    completed: Condvar,
+    closed: loom::sync::atomic::AtomicBool,
+}
+
+struct RingState {
+    /// Pending request deadlines (virtual clock ticks), FIFO.
+    pending: Vec<u64>,
+    /// (deadline, ok) completions.
+    done: Vec<(u64, bool)>,
+    /// The channel's virtual clock — monotone across serviced requests.
+    cursor: u64,
+    hung_up: bool,
+}
+
+impl ModelRing {
+    fn new() -> Self {
+        ModelRing {
+            queue: Mutex::new(RingState {
+                pending: Vec::new(),
+                done: Vec::new(),
+                cursor: 0,
+                hung_up: false,
+            }),
+            submitted: Condvar::new(),
+            completed: Condvar::new(),
+            closed: loom::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// `SimSsd::submit_blocking` + `done.recv()`: enqueue, then wait for
+    /// this request's completion. Returns `(deadline, ok)`.
+    fn submit_and_wait(&self, service: u64) -> (u64, bool) {
+        let mut st = self.queue.lock().unwrap();
+        st.pending.push(service);
+        self.submitted.notify_one();
+        while st.done.is_empty() && !st.hung_up {
+            st = self.completed.wait(st).unwrap();
+        }
+        if st.done.is_empty() {
+            (0, false) // worker hung up without answering: must not happen
+        } else {
+            st.done.remove(0)
+        }
+    }
+
+    /// One `channel_worker` servicing rounds until told to stop: pops a
+    /// request, advances the virtual deadline cursor, completes it —
+    /// failing fast (ok = false) when shutdown already closed the device.
+    fn worker(&self, rounds: usize) {
+        for _ in 0..rounds {
+            let mut st = self.queue.lock().unwrap();
+            while st.pending.is_empty() {
+                st = self.submitted.wait(st).unwrap();
+            }
+            let service = st.pending.remove(0);
+            if self.closed.load(Ordering::Acquire) {
+                let at = st.cursor;
+                st.done.push((at, false));
+                self.completed.notify_all();
+                continue;
+            }
+            let deadline = st.cursor + service;
+            st.cursor = deadline;
+            st.done.push((deadline, true));
+            self.completed.notify_all();
+        }
+        let mut st = self.queue.lock().unwrap();
+        st.hung_up = true;
+        self.completed.notify_all();
+    }
+
+    fn shutdown(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+}
+
+/// Two submitters, one channel worker: every request is answered exactly
+/// once and deadlines advance monotonically (the ring never hands two
+/// requests the same service window).
+#[test]
+fn ring_submissions_complete_with_monotone_deadlines() {
+    loom::model(|| {
+        let ring = Arc::new(ModelRing::new());
+        let w = {
+            let r = Arc::clone(&ring);
+            thread::spawn(move || r.worker(2))
+        };
+        let s2 = {
+            let r = Arc::clone(&ring);
+            thread::spawn(move || r.submit_and_wait(7))
+        };
+        let (d1, ok1) = ring.submit_and_wait(5);
+        let (d2, ok2) = s2.join().unwrap();
+        w.join().unwrap();
+        assert!(ok1 && ok2, "open-device submissions must succeed");
+        assert_ne!(d1, d2, "two requests shared one deadline slot");
+        let st = ring.queue.lock().unwrap();
+        assert!(st.pending.is_empty(), "request lost in the queue");
+        assert_eq!(st.cursor, 12, "cursor must accumulate both services");
+    });
+}
+
+/// Shutdown racing a submission: the submitter is always answered —
+/// either serviced (submitted before the close became visible) or failed
+/// fast — never left waiting on a dead ring.
+#[test]
+fn ring_shutdown_race_always_answers_the_submitter() {
+    loom::model(|| {
+        let ring = Arc::new(ModelRing::new());
+        let w = {
+            let r = Arc::clone(&ring);
+            thread::spawn(move || r.worker(1))
+        };
+        let closer = {
+            let r = Arc::clone(&ring);
+            thread::spawn(move || r.shutdown())
+        };
+        let (deadline, ok) = ring.submit_and_wait(5);
+        w.join().unwrap();
+        closer.join().unwrap();
+        if ok {
+            assert_eq!(deadline, 5, "serviced request must pay full latency");
+        }
+        let st = ring.queue.lock().unwrap();
+        assert!(st.pending.is_empty(), "request lost during shutdown race");
+    });
+}

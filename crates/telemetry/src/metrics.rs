@@ -18,7 +18,7 @@
 
 use crate::json::Json;
 use crate::Histogram;
-use parking_lot::Mutex;
+use gnndrive_sync::{LockRank, OrderedMutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -79,7 +79,7 @@ impl Gauge {
 const HIST_SHARDS: usize = 8;
 
 struct ShardedHistogram {
-    shards: [Mutex<Histogram>; HIST_SHARDS],
+    shards: [OrderedMutex<Histogram>; HIST_SHARDS],
 }
 
 /// Handle to a registered latency histogram (values in nanoseconds by
@@ -129,9 +129,9 @@ enum Metric {
     Histogram(HistogramHandle),
 }
 
-fn registry() -> &'static Mutex<HashMap<String, Metric>> {
-    static REGISTRY: OnceLock<Mutex<HashMap<String, Metric>>> = OnceLock::new();
-    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+fn registry() -> &'static OrderedMutex<HashMap<String, Metric>> {
+    static REGISTRY: OnceLock<OrderedMutex<HashMap<String, Metric>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| OrderedMutex::new(LockRank::Telemetry, HashMap::new()))
 }
 
 /// Get (or register) the counter named `name`.
@@ -166,7 +166,9 @@ pub fn histogram_ns(name: &str) -> HistogramHandle {
     let mut reg = registry().lock();
     match reg.entry(name.to_string()).or_insert_with(|| {
         Metric::Histogram(HistogramHandle(Arc::new(ShardedHistogram {
-            shards: std::array::from_fn(|_| Mutex::new(Histogram::new())),
+            shards: std::array::from_fn(|_| {
+                OrderedMutex::new(LockRank::Telemetry, Histogram::new())
+            }),
         })))
     }) {
         Metric::Histogram(h) => h.clone(),

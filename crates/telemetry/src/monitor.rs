@@ -2,7 +2,7 @@
 
 use crate::registry::{gpu_count, origin, snapshot, Totals};
 use crate::{State, ThreadClass};
-use parking_lot::Mutex;
+use gnndrive_sync::{LockRank, OrderedMutex};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -38,7 +38,7 @@ fn ratios(delta: &Totals, wall_nanos: u64) -> (f64, f64, f64) {
 /// [`Monitor::stop`] to retrieve the recorded series.
 pub struct Monitor {
     stop: Arc<AtomicBool>,
-    series: Arc<Mutex<Vec<SeriesPoint>>>,
+    series: Arc<OrderedMutex<Vec<SeriesPoint>>>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -46,7 +46,7 @@ impl Monitor {
     /// Start sampling every `interval`.
     pub fn start(interval: Duration) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
-        let series = Arc::new(Mutex::new(Vec::new()));
+        let series = Arc::new(OrderedMutex::new(LockRank::Telemetry, Vec::new()));
         let stop2 = Arc::clone(&stop);
         let series2 = Arc::clone(&series);
         let start = origin();
@@ -62,10 +62,10 @@ impl Monitor {
                         .min(Duration::from_millis(2))
                         .max(Duration::from_micros(100));
                     let deadline = std::time::Instant::now() + interval;
-                    let mut stopping = stop2.load(Ordering::Relaxed);
+                    let mut stopping = stop2.load(Ordering::Acquire);
                     while !stopping && std::time::Instant::now() < deadline {
                         std::thread::sleep(slice);
-                        stopping = stop2.load(Ordering::Relaxed);
+                        stopping = stop2.load(Ordering::Acquire);
                     }
                     let now = snapshot();
                     let wall = prev_t.elapsed();
@@ -96,7 +96,7 @@ impl Monitor {
 
     /// Stop the sampler and return the recorded series.
     pub fn stop(mut self) -> Vec<SeriesPoint> {
-        self.stop.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Release);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -112,7 +112,7 @@ impl Monitor {
 
 impl Drop for Monitor {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Release);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }

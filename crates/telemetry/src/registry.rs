@@ -14,7 +14,7 @@
 //! blocked on a CUDA sync at that point).
 
 use crate::{State, ThreadClass};
-use parking_lot::Mutex;
+use gnndrive_sync::{LockRank, OrderedMutex};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -30,7 +30,7 @@ struct EntryInner {
 }
 
 struct ThreadEntry {
-    inner: Mutex<EntryInner>,
+    inner: OrderedMutex<EntryInner>,
     generation: u64,
 }
 
@@ -38,16 +38,16 @@ struct Global {
     nanos: [AtomicU64; CELLS],
     generation: AtomicU64,
     gpu_count: AtomicUsize,
-    entries: Mutex<Vec<Arc<ThreadEntry>>>,
-    origin: Mutex<Option<Instant>>,
+    entries: OrderedMutex<Vec<Arc<ThreadEntry>>>,
+    origin: OrderedMutex<Option<Instant>>,
 }
 
 static GLOBAL: Global = Global {
     nanos: [const { AtomicU64::new(0) }; CELLS],
     generation: AtomicU64::new(0),
     gpu_count: AtomicUsize::new(0),
-    entries: Mutex::new(Vec::new()),
-    origin: Mutex::new(None),
+    entries: OrderedMutex::new(LockRank::Telemetry, Vec::new()),
+    origin: OrderedMutex::new(LockRank::Telemetry, None),
 };
 
 fn cell(class: ThreadClass, state: State) -> usize {
@@ -98,12 +98,15 @@ pub fn register_thread(class: ThreadClass) {
     let generation = GLOBAL.generation.load(Ordering::Acquire);
     GLOBAL.origin.lock().get_or_insert_with(Instant::now);
     let entry = Arc::new(ThreadEntry {
-        inner: Mutex::new(EntryInner {
-            class,
-            state: State::Idle,
-            since: Instant::now(),
-            dead: false,
-        }),
+        inner: OrderedMutex::new(
+            LockRank::Telemetry,
+            EntryInner {
+                class,
+                state: State::Idle,
+                since: Instant::now(),
+                dead: false,
+            },
+        ),
         generation,
     });
     GLOBAL.entries.lock().push(Arc::clone(&entry));

@@ -15,7 +15,7 @@
 
 use crate::json::Json;
 use crate::registry::origin;
-use parking_lot::Mutex;
+use gnndrive_sync::{LockRank, OrderedMutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -39,24 +39,24 @@ pub struct TraceSpan {
 
 struct TraceGlobal {
     enabled: AtomicBool,
-    buffers: Mutex<Vec<Arc<Mutex<Vec<TraceSpan>>>>>,
+    buffers: OrderedMutex<Vec<Arc<OrderedMutex<Vec<TraceSpan>>>>>,
     next_tid: AtomicU64,
 }
 
 static TRACE: TraceGlobal = TraceGlobal {
     enabled: AtomicBool::new(false),
-    buffers: Mutex::new(Vec::new()),
+    buffers: OrderedMutex::new(LockRank::Telemetry, Vec::new()),
     next_tid: AtomicU64::new(1),
 };
 
 struct TlsBuffer {
     tid: u64,
-    spans: Arc<Mutex<Vec<TraceSpan>>>,
+    spans: Arc<OrderedMutex<Vec<TraceSpan>>>,
 }
 
 thread_local! {
     static BUFFER: TlsBuffer = {
-        let spans = Arc::new(Mutex::new(Vec::new()));
+        let spans = Arc::new(OrderedMutex::new(LockRank::Telemetry, Vec::new()));
         TRACE.buffers.lock().push(Arc::clone(&spans));
         TlsBuffer {
             tid: TRACE.next_tid.fetch_add(1, Ordering::Relaxed),
@@ -171,7 +171,9 @@ mod tests {
     use std::time::Duration;
 
     // The collector is process-global; serialize the tests that drain it.
-    static TEST_LOCK: Mutex<()> = Mutex::new(());
+    // Pipeline rank: held across calls that take the Telemetry-ranked
+    // trace locks.
+    static TEST_LOCK: OrderedMutex<()> = OrderedMutex::new(LockRank::Pipeline, ());
 
     #[test]
     fn spans_record_only_when_enabled() {

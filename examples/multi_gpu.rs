@@ -20,7 +20,8 @@ fn main() {
     for workers in [1usize, 2, 4] {
         let mut pipelines =
             build_gnndrive_workers(&sc, &ds, workers, true, false).expect("build workers");
-        let segments = split_segments(&ds.train_idx, workers, sc.batch_size);
+        let segments =
+            split_segments(&ds.train_idx, workers, sc.batch_size).expect("split segments");
         for (p, seg) in pipelines.iter_mut().zip(segments) {
             p.set_train_segment(seg);
         }

@@ -68,7 +68,12 @@ fn epoch_completes_under_seeded_fault_storm() {
     );
     let faults_before = telemetry::counter("storage.faults").get();
     let spikes_before = telemetry::counter("storage.latency_spikes").get();
-    let retries_before = telemetry::counter("core.extract.retries").get();
+    // Faults may be absorbed at either layer: the page cache retries its
+    // own degraded device reads, and only faults on the direct-I/O path
+    // reach the extractor's retry loop. Which layer fires depends on where
+    // the seeded faults land, so the assertion below sums both.
+    let retries_before = telemetry::counter("core.extract.retries").get()
+        + telemetry::counter("page_cache.retries").get();
 
     // Extra attempts: at 5% per read the default 3 still loses the odd
     // batch; 6 makes completed-epoch progress all but certain while the
@@ -97,8 +102,10 @@ fn epoch_completes_under_seeded_fault_storm() {
         "the latency-spike plan must actually fire"
     );
     assert!(
-        telemetry::counter("core.extract.retries").get() > retries_before,
-        "injected faults must surface as extractor retries"
+        telemetry::counter("core.extract.retries").get()
+            + telemetry::counter("page_cache.retries").get()
+            > retries_before,
+        "injected faults must surface as extractor or page-cache retries"
     );
 
     // The retry/skip story must be visible in the run-report artifact.

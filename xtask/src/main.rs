@@ -1,0 +1,56 @@
+//! Workspace automation. One subcommand today:
+//!
+//! ```text
+//! cargo xtask lint
+//! ```
+//!
+//! runs the concurrency/telemetry static-analysis pass over every Rust
+//! source in the workspace (see [`lint`]) and exits non-zero when any
+//! diagnostic fires. CI runs it as a gate; DESIGN.md §8 documents the
+//! policy behind each rule.
+
+mod lint;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // cargo sets this for `cargo xtask ...`; fall back to cwd for direct
+    // invocation of the binary.
+    std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(|d| {
+            let p = PathBuf::from(d);
+            p.parent().map(|p| p.to_path_buf()).unwrap_or(p)
+        })
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let root = workspace_root();
+            let diags = match lint::run(&root) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("error: lint failed to run: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            for d in &diags {
+                print!("{d}");
+            }
+            if diags.is_empty() {
+                eprintln!("lint: clean");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("lint: {} diagnostic(s)", diags.len());
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+    }
+}
