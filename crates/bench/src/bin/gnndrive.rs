@@ -296,10 +296,14 @@ fn train_checkpointed(
     let save_path = ck.save_path();
     let (mut epoch, mut cursor) = (0u64, 0usize);
     if let Some(resume) = &ck.resume {
+        // The container validates its magic, version, lengths, and CRC32
+        // footer before any blob reaches a deserializer, so a corrupted or
+        // foreign file dies here with a typed explanation instead of
+        // resuming training from garbage weights.
         match TrainCheckpoint::load_file(resume) {
             Ok(snap) => {
                 if let Err(e) = p.restore(&snap) {
-                    eprintln!("resume {}: {e}", resume.display());
+                    eprintln!("cannot resume from {}: {e}", resume.display());
                     std::process::exit(1);
                 }
                 epoch = snap.epoch;
@@ -310,7 +314,10 @@ fn train_checkpointed(
                 );
             }
             Err(e) => {
-                eprintln!("resume {}: {e}", resume.display());
+                eprintln!("cannot resume from {}: {e}", resume.display());
+                eprintln!(
+                    "the checkpoint is unusable — retake it (or drop --resume to start fresh)"
+                );
                 std::process::exit(1);
             }
         }

@@ -11,14 +11,77 @@
 //! `--checkpoint-every` / `--resume` path).
 
 use crate::error::Error;
-use gnndrive_storage::{FileHandle, SimSsd};
+use gnndrive_storage::{crc32, FileHandle, SimSsd};
 use std::path::Path;
 use std::sync::Arc;
 
 const CHECKPOINT_MAGIC: [u8; 4] = *b"GNCK";
-const CHECKPOINT_VERSION: u8 = 1;
+/// Version 2 appends a CRC32 footer over everything before it; version-1
+/// containers (no footer) are no longer accepted — a resumed run must
+/// never deserialize bytes it cannot prove intact.
+const CHECKPOINT_VERSION: u8 = 2;
 /// magic + version + epoch + next_batch + two blob lengths.
 const HEADER_LEN: usize = 4 + 1 + 8 + 8 + 8 + 8;
+/// CRC32 (IEEE) of `bytes[..len - 4]`, little-endian.
+const FOOTER_LEN: usize = 4;
+
+/// Why a checkpoint container was rejected. Typed so callers (the CLI's
+/// `--resume`, the pipeline's restore) can explain the failure instead of
+/// deserializing garbage or panicking mid-restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The magic bytes are missing: not a GNCK container at all.
+    BadMagic,
+    /// A GNCK container, but a version this build cannot parse.
+    UnsupportedVersion(u8),
+    /// The container is shorter or longer than its declared lengths.
+    Truncated { expected: usize, actual: usize },
+    /// The declared blob lengths overflow (hostile or garbage header).
+    BadLengths,
+    /// The CRC32 footer does not match the payload: the container was
+    /// corrupted at rest or in transit.
+    CrcMismatch { expected: u32, actual: u32 },
+    /// The container was intact but a model/optimizer blob inside it
+    /// failed to deserialize.
+    Blob(String),
+    /// Host filesystem I/O failed while reading or writing the container.
+    HostIo { path: String, detail: String },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadMagic => {
+                write!(f, "not a GNNDrive training checkpoint (bad magic)")
+            }
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported checkpoint version {v} (this build reads version \
+                     {CHECKPOINT_VERSION})"
+                )
+            }
+            CheckpointError::Truncated { expected, actual } => {
+                write!(
+                    f,
+                    "truncated or oversized checkpoint: declared {expected} bytes, got {actual}"
+                )
+            }
+            CheckpointError::BadLengths => write!(f, "corrupt checkpoint blob lengths"),
+            CheckpointError::CrcMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "checkpoint failed CRC32 validation: footer {expected:#010x}, \
+                     payload {actual:#010x}"
+                )
+            }
+            CheckpointError::Blob(msg) => write!(f, "checkpoint blob rejected: {msg}"),
+            CheckpointError::HostIo { path, detail } => write!(f, "{path}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
 
 /// A frozen training state: resume point plus model and optimizer blobs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,9 +98,11 @@ pub struct TrainCheckpoint {
 }
 
 impl TrainCheckpoint {
-    /// Serialize into the `GNCK` container format.
+    /// Serialize into the `GNCK` container format: header, blobs, then a
+    /// CRC32 footer over everything before it.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(HEADER_LEN + self.model.len() + self.optimizer.len());
+        let mut out =
+            Vec::with_capacity(HEADER_LEN + self.model.len() + self.optimizer.len() + FOOTER_LEN);
         out.extend_from_slice(&CHECKPOINT_MAGIC);
         out.push(CHECKPOINT_VERSION);
         out.extend_from_slice(&self.epoch.to_le_bytes());
@@ -46,20 +111,20 @@ impl TrainCheckpoint {
         out.extend_from_slice(&(self.optimizer.len() as u64).to_le_bytes());
         out.extend_from_slice(&self.model);
         out.extend_from_slice(&self.optimizer);
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
         out
     }
 
-    /// Parse a [`TrainCheckpoint::to_bytes`] container.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, Error> {
-        let bad = |msg: &str| Error::Checkpoint(msg.into());
-        if bytes.len() < HEADER_LEN || bytes[0..4] != CHECKPOINT_MAGIC {
-            return Err(bad("not a GNNDrive training checkpoint"));
+    /// Parse a [`TrainCheckpoint::to_bytes`] container, validating magic,
+    /// version, declared lengths, and the CRC32 footer before any blob
+    /// bytes are handed to a deserializer.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        if bytes.len() < HEADER_LEN + FOOTER_LEN || bytes[0..4] != CHECKPOINT_MAGIC {
+            return Err(CheckpointError::BadMagic);
         }
         if bytes[4] != CHECKPOINT_VERSION {
-            return Err(Error::Checkpoint(format!(
-                "unsupported checkpoint version {}",
-                bytes[4]
-            )));
+            return Err(CheckpointError::UnsupportedVersion(bytes[4]));
         }
         let rd = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
         let (epoch, next_batch) = (rd(5), rd(13));
@@ -68,12 +133,22 @@ impl TrainCheckpoint {
         let need = HEADER_LEN
             .checked_add(model_len)
             .and_then(|n| n.checked_add(opt_len))
-            .ok_or_else(|| bad("corrupt checkpoint lengths"))?;
+            .and_then(|n| n.checked_add(FOOTER_LEN))
+            .ok_or(CheckpointError::BadLengths)?;
         if bytes.len() != need {
-            return Err(bad("truncated or oversized checkpoint"));
+            return Err(CheckpointError::Truncated {
+                expected: need,
+                actual: bytes.len(),
+            });
+        }
+        let payload = &bytes[..need - FOOTER_LEN];
+        let expected = u32::from_le_bytes(bytes[need - FOOTER_LEN..].try_into().unwrap());
+        let actual = crc32(payload);
+        if expected != actual {
+            return Err(CheckpointError::CrcMismatch { expected, actual });
         }
         let model = bytes[HEADER_LEN..HEADER_LEN + model_len].to_vec();
-        let optimizer = bytes[HEADER_LEN + model_len..need].to_vec();
+        let optimizer = bytes[HEADER_LEN + model_len..need - FOOTER_LEN].to_vec();
         Ok(TrainCheckpoint {
             epoch,
             next_batch,
@@ -96,33 +171,45 @@ impl TrainCheckpoint {
         Ok(file)
     }
 
-    /// Read back a [`TrainCheckpoint::write_to_ssd`] file.
+    /// Read back a [`TrainCheckpoint::write_to_ssd`] file. The device
+    /// bytes are checksum-verified (catching silent media corruption)
+    /// before the container's own CRC footer is validated.
     pub fn read_from_ssd(ssd: &Arc<SimSsd>, file: FileHandle) -> Result<Self, Error> {
         let mut len = [0u8; 8];
         ssd.read_blocking(file, 0, &mut len, false)
             .map_err(Error::Io)?;
         let len = u64::from_le_bytes(len);
         if len.saturating_add(8) > file.len {
-            return Err(Error::Checkpoint("corrupt checkpoint length".into()));
+            return Err(Error::Checkpoint(CheckpointError::BadLengths));
         }
         let mut blob = vec![0u8; len as usize];
         ssd.read_blocking(file, 8, &mut blob, false)
             .map_err(Error::Io)?;
-        Self::from_bytes(&blob)
+        ssd.verify(file, 8, &blob)
+            .map_err(|e| Error::Io(e.into()))?;
+        Ok(Self::from_bytes(&blob)?)
     }
 
     /// Write the container to a host filesystem path (the CLI's
     /// `--checkpoint-every` output).
     pub fn save_file(&self, path: &Path) -> Result<(), Error> {
-        std::fs::write(path, self.to_bytes())
-            .map_err(|e| Error::Checkpoint(format!("write {}: {e}", path.display())))
+        std::fs::write(path, self.to_bytes()).map_err(|e| {
+            Error::Checkpoint(CheckpointError::HostIo {
+                path: format!("write {}", path.display()),
+                detail: e.to_string(),
+            })
+        })
     }
 
     /// Load a [`TrainCheckpoint::save_file`] checkpoint (`--resume`).
     pub fn load_file(path: &Path) -> Result<Self, Error> {
-        let bytes = std::fs::read(path)
-            .map_err(|e| Error::Checkpoint(format!("read {}: {e}", path.display())))?;
-        Self::from_bytes(&bytes)
+        let bytes = std::fs::read(path).map_err(|e| {
+            Error::Checkpoint(CheckpointError::HostIo {
+                path: format!("read {}", path.display()),
+                detail: e.to_string(),
+            })
+        })?;
+        Ok(Self::from_bytes(&bytes)?)
     }
 }
 
@@ -147,14 +234,54 @@ mod tests {
     }
 
     #[test]
-    fn malformed_containers_are_rejected() {
-        assert!(TrainCheckpoint::from_bytes(b"nope").is_err());
+    fn malformed_containers_are_rejected_with_typed_errors() {
+        assert_eq!(
+            TrainCheckpoint::from_bytes(b"nope"),
+            Err(CheckpointError::BadMagic)
+        );
         let mut bytes = sample().to_bytes();
         bytes.push(0);
-        assert!(TrainCheckpoint::from_bytes(&bytes).is_err());
+        assert!(matches!(
+            TrainCheckpoint::from_bytes(&bytes),
+            Err(CheckpointError::Truncated { .. })
+        ));
         let mut wrong_ver = sample().to_bytes();
         wrong_ver[4] = 99;
-        assert!(TrainCheckpoint::from_bytes(&wrong_ver).is_err());
+        assert_eq!(
+            TrainCheckpoint::from_bytes(&wrong_ver),
+            Err(CheckpointError::UnsupportedVersion(99))
+        );
+    }
+
+    #[test]
+    fn flipped_payload_bits_fail_the_crc_footer() {
+        let good = sample().to_bytes();
+        // Flip one bit anywhere in the payload (cursor, blob byte, length):
+        // the footer must catch it before any blob reaches a deserializer.
+        for &pos in &[5usize, HEADER_LEN + 1, HEADER_LEN + 6] {
+            let mut bytes = good.clone();
+            bytes[pos] ^= 0x40;
+            assert!(
+                matches!(
+                    TrainCheckpoint::from_bytes(&bytes),
+                    Err(CheckpointError::CrcMismatch { .. })
+                        | Err(CheckpointError::Truncated { .. })
+                        | Err(CheckpointError::BadLengths)
+                ),
+                "bit flip at {pos} must be rejected"
+            );
+        }
+        // Flipping the footer itself is also a mismatch.
+        let mut bytes = good.clone();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(
+            TrainCheckpoint::from_bytes(&bytes),
+            Err(CheckpointError::CrcMismatch { .. })
+        ));
+        // Display is informative enough for a CLI message.
+        let msg = TrainCheckpoint::from_bytes(&bytes).unwrap_err().to_string();
+        assert!(msg.contains("CRC32"), "unhelpful message: {msg}");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! GNNDrive configuration.
 
-use gnndrive_storage::RetryPolicy;
+use gnndrive_storage::{HealthConfig, RetryPolicy};
 use std::time::Duration;
 
 /// Tunables of a GNNDrive pipeline. Defaults follow the paper's evaluation
@@ -52,6 +52,11 @@ pub struct GnnDriveConfig {
     /// backoff, and the per-wait deadline on the async ring. Shared by the
     /// extractors and (via the builder) the page cache.
     pub retry: RetryPolicy,
+    /// Device-health management: the sliding error-rate window and circuit
+    /// breaker that routes extraction off the async ring when the device
+    /// degrades and fails batches fast when it trips. Disabled by default
+    /// ([`HealthConfig::default`]); opt in with [`HealthConfig::enabled`].
+    pub health: HealthConfig,
     /// Safety valve: if an extractor waits longer than this for a standby
     /// slot, the feature buffer is undersized for the workload — fail loud
     /// rather than deadlock silently.
@@ -77,6 +82,7 @@ impl Default for GnnDriveConfig {
             max_joint_read_bytes: 16 * 1024,
             seed: 7,
             retry: RetryPolicy::default(),
+            health: HealthConfig::default(),
             slot_wait_timeout: Duration::from_secs(20),
         }
     }

@@ -8,6 +8,7 @@
 //! [`ExtractError`](crate::ExtractError), [`IoError`], [`OomError`]). The
 //! layer types remain public for code that wants the narrow contract.
 
+use crate::checkpoint::CheckpointError;
 use crate::extractor::ExtractError;
 use crate::pipeline::BuildError;
 use gnndrive_storage::{IoError, OomError};
@@ -24,8 +25,8 @@ pub enum Error {
     Io(IoError),
     /// A host-memory charge was refused by the governor.
     Oom(OomError),
-    /// A checkpoint blob or file was malformed or unreadable.
-    Checkpoint(String),
+    /// A checkpoint blob or file was malformed, corrupted, or unreadable.
+    Checkpoint(CheckpointError),
 }
 
 impl fmt::Display for Error {
@@ -35,7 +36,7 @@ impl fmt::Display for Error {
             Error::Extract(e) => write!(f, "{e}"),
             Error::Io(e) => write!(f, "{e}"),
             Error::Oom(e) => write!(f, "{e}"),
-            Error::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            Error::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
         }
     }
 }
@@ -47,8 +48,14 @@ impl std::error::Error for Error {
             Error::Extract(e) => Some(e),
             Error::Io(e) => Some(e),
             Error::Oom(e) => Some(e),
-            Error::Checkpoint(_) => None,
+            Error::Checkpoint(e) => Some(e),
         }
+    }
+}
+
+impl From<CheckpointError> for Error {
+    fn from(e: CheckpointError) -> Self {
+        Error::Checkpoint(e)
     }
 }
 
@@ -101,8 +108,8 @@ mod tests {
         assert!(matches!(e, Error::Io(_)));
         let e: Error = ExtractError::DependencyAborted(7).into();
         assert!(matches!(e, Error::Extract(_)));
-        assert!(Error::Checkpoint("bad magic".into())
-            .to_string()
-            .contains("bad magic"));
+        let e: Error = CheckpointError::BadMagic.into();
+        assert!(matches!(e, Error::Checkpoint(_)));
+        assert!(e.to_string().contains("bad magic"));
     }
 }

@@ -25,7 +25,9 @@ use crate::staging::{StagingBuffer, StagingLease};
 use gnndrive_device::{FeatureSlab, TransferEngine};
 use gnndrive_graph::NodeId;
 use gnndrive_sampling::MiniBatchSample;
-use gnndrive_storage::{FileHandle, IoError, IoRing, RetryPolicy, SimSsd, SECTOR_SIZE};
+use gnndrive_storage::{
+    Admission, DeviceHealth, FileHandle, IoError, IoRing, RetryPolicy, SimSsd, SECTOR_SIZE,
+};
 use gnndrive_telemetry as telemetry;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -53,6 +55,12 @@ pub struct ExtractorContext {
     /// ring so a stalled device surfaces as [`IoError::Timeout`] instead of
     /// parking the extractor forever.
     pub retry: RetryPolicy,
+    /// Device-health tracker / circuit breaker, shared by every extractor
+    /// against this device. Healthy batches use the async ring; Degraded
+    /// ones route onto the bounded sync path; an open circuit fails fast
+    /// into the epoch's skip machinery, with one half-open probe per
+    /// cooldown allowed through to test the device.
+    pub health: Arc<DeviceHealth>,
 }
 
 /// Why an extraction failed.
@@ -66,6 +74,10 @@ pub enum ExtractError {
     /// The host→device transfer engine hung up with transfers still in
     /// flight (its thread is gone); the batch cannot be published.
     TransferEngineGone,
+    /// The device-health circuit breaker is open: the batch was failed
+    /// fast without touching the device (it lands in
+    /// `EpochReport::failed_batches`).
+    CircuitOpen,
 }
 
 impl std::fmt::Display for ExtractError {
@@ -78,6 +90,9 @@ impl std::fmt::Display for ExtractError {
             ExtractError::TransferEngineGone => {
                 write!(f, "transfer engine shut down with transfers in flight")
             }
+            ExtractError::CircuitOpen => {
+                write!(f, "device circuit breaker open: batch failed fast")
+            }
         }
     }
 }
@@ -88,6 +103,7 @@ impl std::error::Error for ExtractError {
             ExtractError::Io(e) => Some(e),
             ExtractError::DependencyAborted(_) => None,
             ExtractError::TransferEngineGone => None,
+            ExtractError::CircuitOpen => None,
         }
     }
 }
@@ -171,23 +187,68 @@ fn row_from_window(buf: &[u8], window_start: u64, node: NodeId, row_bytes: u64) 
 /// Blocking feature read under the context's [`RetryPolicy`]: transient
 /// faults are retried with exponential backoff (counted in
 /// `core.extract.retries`) until the policy's attempt budget runs out.
+///
+/// Every successful device read is checksum-verified before its bytes can
+/// reach a feature slab; a mismatch surfaces as [`IoError::Corrupt`], which
+/// is transient, so the retry loop re-reads from the device instead of
+/// serving poisoned bytes. Each attempt's outcome feeds the shared
+/// [`DeviceHealth`] window.
 fn read_with_retries(ctx: &ExtractorContext, offset: u64, buf: &mut [u8]) -> Result<(), IoError> {
     let retries = telemetry::counter("core.extract.retries");
     let direct = ctx.direct_io || ctx.gpu_direct;
     ctx.retry.run(
         || retries.inc(),
         |_| {
-            ctx.ssd
+            let out = ctx
+                .ssd
                 .read_blocking(ctx.features_file, offset, buf, direct)
+                .and_then(|()| {
+                    ctx.ssd
+                        .verify(ctx.features_file, offset, buf)
+                        .map_err(IoError::from)
+                });
+            match &out {
+                Ok(()) => ctx.health.record_success(),
+                Err(_) => ctx.health.record_error(),
+            }
+            out
         },
     )
 }
 
 /// Run Algorithm 1 for one sampled mini-batch. Returns the extracted batch
 /// with its node-alias list resolved.
+///
+/// Before touching the device, the batch passes the [`DeviceHealth`]
+/// admission gate: Healthy batches use the async ring; a Degraded device
+/// routes the batch onto the bounded sync path (blocking reads, no deep
+/// queue to pile congestion onto a struggling device); an open circuit
+/// fails the batch fast with [`ExtractError::CircuitOpen`] — except for
+/// the one half-open probe per cooldown, which runs on the sync path and
+/// reports its outcome back to the breaker.
 pub fn extract_batch(
     ctx: &ExtractorContext,
     sample: MiniBatchSample,
+) -> Result<ExtractedBatch, ExtractError> {
+    match ctx.health.admit() {
+        Admission::Normal => extract_batch_inner(ctx, sample, false),
+        Admission::Sync => extract_batch_inner(ctx, sample, true),
+        Admission::FailFast => Err(ExtractError::CircuitOpen),
+        Admission::Probe => {
+            let out = extract_batch_inner(ctx, sample, true);
+            // Only device-level failures condemn the probe; a planner-level
+            // abort (dependency raced away) says nothing about the media.
+            let device_ok = !matches!(out, Err(ExtractError::Io(_)));
+            ctx.health.probe_result(device_ok);
+            out
+        }
+    }
+}
+
+fn extract_batch_inner(
+    ctx: &ExtractorContext,
+    sample: MiniBatchSample,
+    force_sync: bool,
 ) -> Result<ExtractedBatch, ExtractError> {
     let _busy = telemetry::state(telemetry::State::Compute);
     let mut plan = ctx.fb.plan_batch(&sample.input_nodes);
@@ -229,7 +290,9 @@ pub fn extract_batch(
     // Ablation path: synchronous extraction — one blocking read per group,
     // one blocking transfer per node, everything on the critical path
     // (what PyG+/Ginex do; isolates the contribution of async extraction).
-    if ctx.sync_extract {
+    // Also the degraded-mode path: a struggling device gets bounded,
+    // serialized load instead of a deep async queue.
+    if ctx.sync_extract || force_sync {
         let mut buf = Vec::new();
         for group in &groups {
             let _lease = ctx
@@ -275,9 +338,28 @@ pub fn extract_batch(
          inflight_transfers: &mut usize|
          -> Result<(), IoError> {
             let (group, lease) = pending.remove(&c.user_data).expect("unknown group");
-            // Media errors fall back to (retried) blocking reads — the
-            // standard firmware-reread recovery path — before giving up.
-            let buf = match c.result {
+            // Media errors and checksum mismatches fall back to (retried)
+            // blocking reads — the standard firmware-reread recovery path —
+            // before giving up. Successful completions are verified here,
+            // at the ring boundary, so silently corrupted windows never
+            // reach a feature slab.
+            let verified = match c.result {
+                Ok(b) => match ctx.ssd.verify(ctx.features_file, group.window_start, &b) {
+                    Ok(()) => {
+                        ctx.health.record_success();
+                        Ok(b)
+                    }
+                    Err(e) => {
+                        ctx.health.record_error();
+                        Err(IoError::from(e))
+                    }
+                },
+                Err(e) => {
+                    ctx.health.record_error();
+                    Err(e)
+                }
+            };
+            let buf = match verified {
                 Ok(b) => b,
                 Err(_) => {
                     // The failed async attempt makes this re-read a retry:
@@ -463,7 +545,7 @@ mod tests {
     use gnndrive_device::TransferProfile;
     use gnndrive_graph::{Dataset, DatasetSpec};
     use gnndrive_sampling::{InMemTopo, NeighborSampler};
-    use gnndrive_storage::{MemoryGovernor, SsdProfile};
+    use gnndrive_storage::{HealthConfig, HealthState, MemoryGovernor, SsdProfile};
 
     fn tiny_dataset(dim: usize) -> Dataset {
         Dataset::build(
@@ -508,6 +590,7 @@ mod tests {
             ring_depth: 16,
             max_joint_read_bytes: 8192,
             retry: RetryPolicy::default(),
+            health: Arc::new(DeviceHealth::new(HealthConfig::default())),
         }
     }
 
@@ -696,6 +779,85 @@ mod tests {
         assert_eq!(groups.len(), 1);
         assert_eq!(groups[0].window_start, 0);
         assert_eq!(groups[0].window_len, 3 * 512);
+    }
+
+    #[test]
+    fn corrupted_ring_completions_are_reread_not_served() {
+        use gnndrive_storage::FaultPlan;
+        let ds = tiny_dataset(128); // 512 B rows: windows cover whole sectors
+        let mut ctx = context(&ds, true, true);
+        ctx.retry = RetryPolicy::default().with_max_attempts(8);
+        // Half the targeted reads are silently bit-flipped: the device
+        // reports success with wrong bytes. Verification at the ring
+        // boundary must catch every one and heal it with a re-read.
+        ds.ssd.set_fault_plan(
+            FaultPlan::new(23)
+                .with_bit_flips(0.5)
+                .on_file(ds.features_file.id),
+        );
+        let detected_before = telemetry::counter("storage.integrity.detected").get();
+        let batch = extract_batch(&ctx, sample_of(&ds, &[40, 41, 42, 43, 44])).unwrap();
+        ds.ssd.clear_faults();
+        verify_rows(&ds, &batch, &ctx.fb);
+        assert!(
+            telemetry::counter("storage.integrity.detected").get() > detected_before,
+            "bit flips at 50% must have corrupted at least one window"
+        );
+        assert_eq!(
+            telemetry::counter("storage.integrity.escaped").get(),
+            0,
+            "no corruption may escape verification"
+        );
+    }
+
+    #[test]
+    fn open_circuit_fails_batches_fast_and_probe_recovers() {
+        let ds = tiny_dataset(64);
+        let mut ctx = context(&ds, true, true);
+        ctx.health = Arc::new(DeviceHealth::new(HealthConfig {
+            cooldown: std::time::Duration::from_millis(5),
+            ..HealthConfig::enabled()
+        }));
+        // Simulate a burst of device errors observed by other readers.
+        for _ in 0..64 {
+            ctx.health.record_error();
+        }
+        assert_eq!(ctx.health.state(), HealthState::CircuitOpen);
+        // Inside the cooldown the batch is rejected without touching the
+        // device or leaking buffer pins.
+        let err = match extract_batch(&ctx, sample_of(&ds, &[1, 2, 3])) {
+            Err(e) => e,
+            Ok(_) => panic!("open circuit must fail the batch fast"),
+        };
+        assert!(matches!(err, ExtractError::CircuitOpen), "got {err}");
+        ctx.fb.check_invariants();
+        // After the cooldown one batch rides the half-open probe; the
+        // device is actually fine, so the probe closes the circuit.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let batch = extract_batch(&ctx, sample_of(&ds, &[1, 2, 3])).unwrap();
+        verify_rows(&ds, &batch, &ctx.fb);
+        assert_eq!(ctx.health.state(), HealthState::Healthy);
+        // Healthy again: the next batch is admitted onto the async ring.
+        let s = sample_of(&ds, &[4, 5, 6]);
+        let batch = extract_batch(&ctx, s).unwrap();
+        verify_rows(&ds, &batch, &ctx.fb);
+    }
+
+    #[test]
+    fn degraded_device_routes_extraction_onto_sync_path() {
+        let ds = tiny_dataset(32);
+        let mut ctx = context(&ds, true, true);
+        ctx.health = Arc::new(DeviceHealth::new(HealthConfig::enabled()));
+        // Half the window errored: Degraded, batches still succeed (on the
+        // bounded sync path) and produce correct rows.
+        for _ in 0..32 {
+            ctx.health.record_error();
+            ctx.health.record_success();
+        }
+        assert_eq!(ctx.health.state(), HealthState::Degraded);
+        let batch = extract_batch(&ctx, sample_of(&ds, &[12, 13, 14])).unwrap();
+        verify_rows(&ds, &batch, &ctx.fb);
+        ctx.fb.check_invariants();
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub mod staging;
 pub mod system;
 
 pub use builder::PipelineBuilder;
-pub use checkpoint::TrainCheckpoint;
+pub use checkpoint::{CheckpointError, TrainCheckpoint};
 pub use config::GnnDriveConfig;
 pub use error::Error;
 pub use extractor::{extract_batch, ExtractError, ExtractedBatch};

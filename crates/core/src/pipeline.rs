@@ -10,7 +10,7 @@
 //! submission order (the ablation).
 
 use crate::builder::PipelineBuilder;
-use crate::checkpoint::TrainCheckpoint;
+use crate::checkpoint::{CheckpointError, TrainCheckpoint};
 use crate::config::GnnDriveConfig;
 use crate::error::Error;
 use crate::extractor::{extract_batch, ExtractedBatch, ExtractorContext};
@@ -21,7 +21,7 @@ use gnndrive_device::{DeviceAlloc, FeatureSlab, GpuDevice};
 use gnndrive_graph::{Dataset, NodeId};
 use gnndrive_nn::{build_model, GnnModel};
 use gnndrive_sampling::{BatchPlan, MiniBatchSample, MmapTopo, NeighborSampler, TopoReader};
-use gnndrive_storage::{MemCharge, MemoryGovernor, OomError, PageCache};
+use gnndrive_storage::{DeviceHealth, MemCharge, MemoryGovernor, OomError, PageCache};
 use gnndrive_sync::{LockRank, OrderedMutex};
 use gnndrive_telemetry::{self as telemetry, HistSummary, State, ThreadClass};
 use gnndrive_tensor::{Adam, Matrix, Optimizer};
@@ -79,6 +79,9 @@ pub struct Pipeline {
     /// Training set override for data-parallel segments (defaults to the
     /// dataset's full training set).
     train_segment: Arc<Vec<NodeId>>,
+    /// Device-health tracker / circuit breaker shared by every extractor
+    /// (and inference) against this pipeline's SSD.
+    health: Arc<DeviceHealth>,
 }
 
 /// Construction failure: either host OOM (governor) or device OOM.
@@ -187,6 +190,7 @@ impl Pipeline {
             cfg.seed,
         );
         let train_segment = Arc::new(ds.train_idx.as_ref().clone());
+        let health = Arc::new(DeviceHealth::new(cfg.health.clone()));
         Ok(Pipeline {
             cfg,
             ds,
@@ -200,6 +204,7 @@ impl Pipeline {
             fb_home,
             _host_charges: host_charges,
             train_segment,
+            health,
         })
     }
 
@@ -220,6 +225,13 @@ impl Pipeline {
 
     pub fn config(&self) -> &GnnDriveConfig {
         &self.cfg
+    }
+
+    /// The pipeline's device-health tracker: tests and operators inspect
+    /// its [`state`](DeviceHealth::state), and chaos harnesses can drive
+    /// it directly.
+    pub fn device_health(&self) -> &Arc<DeviceHealth> {
+        &self.health
     }
 
     pub fn model_mut(&mut self) -> &mut GnnModel {
@@ -256,6 +268,7 @@ impl Pipeline {
             ring_depth: self.cfg.ring_depth,
             max_joint_read_bytes: self.cfg.max_joint_read_bytes,
             retry: self.cfg.retry,
+            health: Arc::clone(&self.health),
         };
         let batch = extract_batch(&ctx, sample).expect("inference extraction");
         let (_r, _c, data) = self.fb.slab().gather(&batch.aliases);
@@ -340,6 +353,7 @@ impl Pipeline {
             ring_depth: self.cfg.ring_depth,
             max_joint_read_bytes: self.cfg.max_joint_read_bytes,
             retry: self.cfg.retry,
+            health: Arc::clone(&self.health),
         });
 
         let (extract_tx, extract_rx) =
@@ -696,8 +710,8 @@ impl Pipeline {
     /// training at (`ck.epoch`, `ck.next_batch`) via
     /// [`Pipeline::train_epoch_range`].
     pub fn restore(&mut self, ck: &TrainCheckpoint) -> Result<(), Error> {
-        self.model = GnnModel::load(&ck.model).map_err(Error::Checkpoint)?;
-        self.opt = Adam::load(&ck.optimizer).map_err(Error::Checkpoint)?;
+        self.model = GnnModel::load(&ck.model).map_err(CheckpointError::Blob)?;
+        self.opt = Adam::load(&ck.optimizer).map_err(CheckpointError::Blob)?;
         Ok(())
     }
 }

@@ -32,6 +32,11 @@ pub enum IoError {
     /// The operation's retry-policy deadline expired before a completion
     /// arrived (see [`crate::RetryPolicy::op_timeout`]).
     Timeout,
+    /// A read returned successfully but its bytes failed checksum
+    /// verification against the device's per-sector CRC table (see
+    /// [`crate::IntegrityError`]). Transient for retry purposes: a re-read
+    /// heals in-flight corruption, and the scrubber heals media corruption.
+    Corrupt { file: u32, offset: u64 },
 }
 
 impl fmt::Display for IoError {
@@ -57,11 +62,26 @@ impl fmt::Display for IoError {
                 write!(f, "device fault reading file {file} at offset {offset}")
             }
             IoError::Timeout => write!(f, "I/O operation timed out"),
+            IoError::Corrupt { file, offset } => {
+                write!(
+                    f,
+                    "checksum verification failed for file {file} at offset {offset}"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for IoError {}
+
+impl From<crate::integrity::IntegrityError> for IoError {
+    fn from(e: crate::integrity::IntegrityError) -> Self {
+        IoError::Corrupt {
+            file: e.file,
+            offset: e.offset,
+        }
+    }
+}
 
 /// Host memory budget exhausted (the paper's OOM outcomes).
 #[derive(Debug, Clone, PartialEq, Eq)]

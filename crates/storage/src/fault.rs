@@ -50,6 +50,20 @@ pub struct FaultPlan {
     pub stall_window: Option<Range<u64>>,
     /// Per-request delay inside the stall window.
     pub stall: Duration,
+    /// Probability that a read *succeeds* with a single seeded bit flipped
+    /// in the returned buffer (in-flight silent corruption; the disk image
+    /// and its CRC table stay intact, so a re-read heals it).
+    pub bit_flip_prob: f64,
+    /// Probability that a read *succeeds* but returns bytes from a
+    /// seeded wrong sector offset of the same file (a misdirected read;
+    /// also in-flight — the image is untouched).
+    pub misdirected_read_prob: f64,
+    /// Probability that a write is *torn*: only a seeded prefix of the
+    /// data reaches the image while the CRC table records the intended
+    /// contents. Persistent: every later read of the torn sectors fails
+    /// verification until the scrubber repairs them from the device's
+    /// intent ledger (the simulated analog of controller NVRAM/ECC).
+    pub torn_write_prob: f64,
 }
 
 impl FaultPlan {
@@ -101,13 +115,52 @@ impl FaultPlan {
         self
     }
 
+    /// Silently flip one seeded bit in each read with probability `p`.
+    pub fn with_bit_flips(mut self, p: f64) -> Self {
+        self.bit_flip_prob = p;
+        self
+    }
+
+    /// Serve each read from a seeded wrong offset with probability `p`.
+    pub fn with_misdirected_reads(mut self, p: f64) -> Self {
+        self.misdirected_read_prob = p;
+        self
+    }
+
+    /// Tear each write (persist only a seeded prefix) with probability `p`.
+    pub fn with_torn_writes(mut self, p: f64) -> Self {
+        self.torn_write_prob = p;
+        self
+    }
+
     /// Whether the plan can ever inject anything.
     pub fn is_active(&self) -> bool {
         self.read_fault_prob > 0.0
             || self.read_fault_every > 0
             || (self.latency_spike_prob > 0.0 && !self.latency_spike.is_zero())
             || (self.stall_window.is_some() && !self.stall.is_zero())
+            || self.bit_flip_prob > 0.0
+            || self.misdirected_read_prob > 0.0
+            || self.torn_write_prob > 0.0
     }
+}
+
+/// A silent corruption the device worker must apply to an otherwise
+/// successful request. Decided by [`FaultInjector::assess`]; the worker
+/// applies it during data movement and counts it in the device's
+/// `storage.integrity.*` metrics only when it was *effective* (actually
+/// changed bytes) — corrupting a read with the same bytes it would have
+/// returned anyway is not an injection anyone could detect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SilentCorruption {
+    /// Flip bit `bit` (0-based, within the verifiable full-sector prefix of
+    /// the returned read buffer).
+    BitFlip { bit: u64 },
+    /// Serve the read from `shift` sectors away (positive or negative),
+    /// clamped to the file's extent by the worker.
+    MisdirectedRead { shift: i64 },
+    /// Persist only the first `keep` bytes of the write.
+    TornWrite { keep: u64 },
 }
 
 /// What the injector decided for one request.
@@ -118,6 +171,9 @@ pub struct FaultVerdict {
     /// If set, the request must fail with this error after paying its
     /// (possibly inflated) service time — media errors are slow, not fast.
     pub fail: Option<IoError>,
+    /// If set, the request *succeeds* but the worker must silently corrupt
+    /// it as described. Mutually exclusive with `fail`.
+    pub corrupt: Option<SilentCorruption>,
 }
 
 /// Applies a [`FaultPlan`] to a request stream. Thread-safe; owned by the
@@ -126,8 +182,10 @@ pub struct FaultInjector {
     plan: FaultPlan,
     /// Global request ordinal (reads and writes), drives latency events.
     ops: AtomicU64,
-    /// Read ordinal, drives read-fault decisions.
+    /// Read ordinal, drives read-fault and read-corruption decisions.
     reads: AtomicU64,
+    /// Write ordinal, drives torn-write decisions.
+    writes: AtomicU64,
     c_faults: Counter,
     c_spikes: Counter,
     c_stalls: Counter,
@@ -135,7 +193,7 @@ pub struct FaultInjector {
 
 /// splitmix64: a tiny, high-quality mixing function. Deterministic
 /// per-(seed, ordinal, stream) uniform in [0, 1).
-fn mix_unit(seed: u64, ordinal: u64, stream: u64) -> f64 {
+pub(crate) fn mix_unit(seed: u64, ordinal: u64, stream: u64) -> f64 {
     let mut z = seed
         .wrapping_add(stream.wrapping_mul(0x9E3779B97F4A7C15))
         .wrapping_add(ordinal.wrapping_mul(0xBF58476D1CE4E5B9));
@@ -152,6 +210,7 @@ impl FaultInjector {
             plan,
             ops: AtomicU64::new(0),
             reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
             c_faults: telemetry::counter("storage.faults"),
             c_spikes: telemetry::counter("storage.latency_spikes"),
             c_stalls: telemetry::counter("storage.stalls"),
@@ -164,8 +223,11 @@ impl FaultInjector {
 
     /// Judge one request. Called by a device worker as it services the
     /// request; counters are bumped here so callers only need to honor the
-    /// verdict.
-    pub fn assess(&self, file: u32, offset: u64, op: IoOp) -> FaultVerdict {
+    /// verdict. `len` is the request's transfer size; silent read
+    /// corruption lands only in the full-sector prefix of the buffer (the
+    /// part the CRC table can vouch for), so sub-sector reads are never
+    /// silently corrupted.
+    pub fn assess(&self, file: u32, offset: u64, len: usize, op: IoOp) -> FaultVerdict {
         let mut verdict = FaultVerdict::default();
         let ordinal = self.ops.fetch_add(1, Ordering::Relaxed);
 
@@ -183,9 +245,9 @@ impl FaultInjector {
             }
         }
 
-        // Only *targeted* reads advance the read ordinal, so "every n-th
-        // read of file F" keeps meaning exactly that when other files are
-        // read concurrently.
+        // Only *targeted* requests advance the per-op ordinals, so "every
+        // n-th read of file F" keeps meaning exactly that when other files
+        // are accessed concurrently.
         let targeted = self.plan.target_file.map(|t| t == file).unwrap_or(true);
         if op == IoOp::Read && targeted {
             let read_no = self.reads.fetch_add(1, Ordering::Relaxed);
@@ -204,6 +266,40 @@ impl FaultInjector {
                     verdict.fail = Some(IoError::DeviceFault { file, offset });
                     self.c_faults.inc();
                 }
+                // Bytes only get silently corrupted when the read otherwise
+                // succeeds; bit flip and misdirect are mutually exclusive.
+                let sec = crate::ssd::SECTOR_SIZE as usize;
+                let usable = len - len % sec;
+                if verdict.fail.is_none() && usable > 0 {
+                    if self.plan.bit_flip_prob > 0.0
+                        && mix_unit(self.plan.seed, read_no, 3) < self.plan.bit_flip_prob
+                    {
+                        let bit =
+                            (mix_unit(self.plan.seed, read_no, 4) * (usable as f64) * 8.0) as u64;
+                        verdict.corrupt = Some(SilentCorruption::BitFlip {
+                            bit: bit.min(usable as u64 * 8 - 1),
+                        });
+                    } else if self.plan.misdirected_read_prob > 0.0
+                        && mix_unit(self.plan.seed, read_no, 5) < self.plan.misdirected_read_prob
+                    {
+                        // Shift in [-8, 8] \ {0} sectors; the worker clamps
+                        // to the file's extent.
+                        let u = mix_unit(self.plan.seed, read_no, 6);
+                        let magnitude = 1 + ((u * 8.0) as i64).min(7);
+                        let shift = if u < 0.5 { -magnitude } else { magnitude };
+                        verdict.corrupt = Some(SilentCorruption::MisdirectedRead { shift });
+                    }
+                }
+            }
+        }
+        if op == IoOp::Write && targeted && self.plan.torn_write_prob > 0.0 {
+            let write_no = self.writes.fetch_add(1, Ordering::Relaxed);
+            if mix_unit(self.plan.seed, write_no, 7) < self.plan.torn_write_prob {
+                // Persist a seeded strict prefix: [0, len).
+                let keep = (mix_unit(self.plan.seed, write_no, 8) * len as f64) as u64;
+                verdict.corrupt = Some(SilentCorruption::TornWrite {
+                    keep: keep.min(len.saturating_sub(1) as u64),
+                });
             }
         }
         verdict
@@ -219,7 +315,7 @@ mod tests {
         let inj = FaultInjector::new(FaultPlan::new(1));
         assert!(!inj.plan().is_active());
         for i in 0..100 {
-            let v = inj.assess(0, i * 512, IoOp::Read);
+            let v = inj.assess(0, i * 512, 512, IoOp::Read);
             assert_eq!(v, FaultVerdict::default());
         }
     }
@@ -228,14 +324,14 @@ mod tests {
     fn every_nth_read_fails_deterministically() {
         let inj = FaultInjector::new(FaultPlan::new(9).with_read_fault_every(3));
         let fails: Vec<bool> = (0..9)
-            .map(|i| inj.assess(0, i, IoOp::Read).fail.is_some())
+            .map(|i| inj.assess(0, i, 512, IoOp::Read).fail.is_some())
             .collect();
         assert_eq!(
             fails,
             vec![false, false, true, false, false, true, false, false, true]
         );
         // Writes never fail.
-        assert!(inj.assess(0, 0, IoOp::Write).fail.is_none());
+        assert!(inj.assess(0, 0, 512, IoOp::Write).fail.is_none());
     }
 
     #[test]
@@ -243,7 +339,7 @@ mod tests {
         let run = |seed| -> Vec<bool> {
             let inj = FaultInjector::new(FaultPlan::new(seed).with_read_fault_prob(0.3));
             (0..64)
-                .map(|i| inj.assess(0, i, IoOp::Read).fail.is_some())
+                .map(|i| inj.assess(0, i, 512, IoOp::Read).fail.is_some())
                 .collect()
         };
         assert_eq!(run(7), run(7), "same seed, same schedule");
@@ -263,7 +359,7 @@ mod tests {
         let mut failed = Vec::new();
         for i in 0..16u64 {
             let file = if i % 2 == 0 { 2 } else { 5 };
-            if inj.assess(file, 0, IoOp::Read).fail.is_some() {
+            if inj.assess(file, 0, 512, IoOp::Read).fail.is_some() {
                 failed.push(i);
             }
         }
@@ -280,14 +376,71 @@ mod tests {
                 .with_latency_spikes(1.0, Duration::from_millis(2))
                 .with_stall(0..4, Duration::from_millis(10)),
         );
-        let v = inj.assess(0, 0, IoOp::Write);
+        let v = inj.assess(0, 0, 512, IoOp::Write);
         assert_eq!(v.extra_latency, Duration::from_millis(12));
         assert!(v.fail.is_none());
         // Past the stall window only the spike remains.
         for _ in 0..4 {
-            inj.assess(0, 0, IoOp::Write);
+            inj.assess(0, 0, 512, IoOp::Write);
         }
-        let v = inj.assess(0, 0, IoOp::Write);
+        let v = inj.assess(0, 0, 512, IoOp::Write);
         assert_eq!(v.extra_latency, Duration::from_millis(2));
+    }
+
+    #[test]
+    fn bit_flips_are_seeded_and_sector_scoped() {
+        let run = |seed| -> Vec<Option<SilentCorruption>> {
+            let inj = FaultInjector::new(FaultPlan::new(seed).with_bit_flips(0.5));
+            (0..64)
+                .map(|i| inj.assess(0, i * 4096, 4096, IoOp::Read).corrupt)
+                .collect()
+        };
+        assert_eq!(run(11), run(11), "same seed, same corruption schedule");
+        assert_ne!(run(11), run(12));
+        let hits: Vec<_> = run(11).into_iter().flatten().collect();
+        assert!(
+            (16..=48).contains(&hits.len()),
+            "~50% of 64, got {}",
+            hits.len()
+        );
+        for c in &hits {
+            match c {
+                SilentCorruption::BitFlip { bit } => assert!(*bit < 4096 * 8),
+                other => panic!("unexpected corruption {other:?}"),
+            }
+        }
+        // Sub-sector reads are never silently corrupted: the CRC table
+        // cannot vouch for partial sectors, so a flip there would be a
+        // guaranteed escape.
+        let inj = FaultInjector::new(FaultPlan::new(11).with_bit_flips(1.0));
+        assert_eq!(inj.assess(0, 0, 100, IoOp::Read).corrupt, None);
+        // Writes are unaffected by read-corruption modes.
+        assert_eq!(inj.assess(0, 0, 4096, IoOp::Write).corrupt, None);
+    }
+
+    #[test]
+    fn misdirected_reads_shift_by_whole_sectors() {
+        let inj = FaultInjector::new(FaultPlan::new(21).with_misdirected_reads(1.0));
+        for i in 0..32 {
+            match inj.assess(0, i * 512, 512, IoOp::Read).corrupt {
+                Some(SilentCorruption::MisdirectedRead { shift }) => {
+                    assert!(shift != 0 && (-8..=8).contains(&shift), "shift {shift}")
+                }
+                other => panic!("expected misdirect, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn torn_writes_keep_a_strict_prefix() {
+        let inj = FaultInjector::new(FaultPlan::new(33).with_torn_writes(1.0));
+        for i in 0..32 {
+            match inj.assess(0, i * 4096, 4096, IoOp::Write).corrupt {
+                Some(SilentCorruption::TornWrite { keep }) => assert!(keep < 4096),
+                other => panic!("expected torn write, got {other:?}"),
+            }
+            // Reads never see torn-write verdicts.
+            assert_eq!(inj.assess(0, 0, 4096, IoOp::Read).corrupt, None);
+        }
     }
 }

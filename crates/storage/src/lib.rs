@@ -46,25 +46,37 @@
 //! ```
 //!
 //! For robustness testing, [`FaultPlan`] installs a deterministic schedule
-//! of media faults, latency spikes, and device stalls on a [`SimSsd`], and
+//! of media faults, latency spikes, device stalls, and *silent* corruption
+//! (bit flips, misdirected reads, torn writes) on a [`SimSsd`];
 //! [`RetryPolicy`] bounds the recovery attempts readers make against it.
+//! The device maintains a per-sector CRC32 table ([`SimSsd::verify`])
+//! so hosts catch silent corruption at every read boundary, a
+//! [`Scrubber`] repairs latent media damage in the background, and
+//! [`DeviceHealth`] turns sustained error rates into a circuit breaker
+//! (Healthy → Degraded → CircuitOpen with half-open probes).
 
 pub mod error;
 pub mod fault;
 pub mod governor;
+pub mod health;
+pub mod integrity;
 pub mod lru;
 pub mod pagecache;
 pub mod retry;
 pub mod ring;
+pub mod scrub;
 pub mod ssd;
 pub mod stats;
 
 pub use error::{IoError, OomError};
-pub use fault::{FaultInjector, FaultPlan, FaultVerdict};
+pub use fault::{FaultInjector, FaultPlan, FaultVerdict, SilentCorruption};
 pub use governor::{ChargeKind, MemCharge, MemoryGovernor, MemoryReclaimer};
+pub use health::{Admission, DeviceHealth, HealthConfig, HealthState};
+pub use integrity::{crc32, IntegrityError};
 pub use lru::LruList;
 pub use pagecache::{MmapArray, PageCache, PageCacheStats, Pod, PAGE_SIZE};
 pub use retry::RetryPolicy;
 pub use ring::IoRing;
-pub use ssd::{Completion, FileHandle, IoOp, SimSsd, SsdProfile, SECTOR_SIZE};
+pub use scrub::{ScrubConfig, Scrubber};
+pub use ssd::{Completion, FileHandle, IoOp, ScrubChunk, SimSsd, SsdProfile, SECTOR_SIZE};
 pub use stats::{IoStats, IoStatsSnapshot};

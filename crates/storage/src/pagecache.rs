@@ -162,11 +162,22 @@ impl PageCache {
 
     /// Read `buf.len()` bytes at `offset` under the retry policy; degrades
     /// to zero-fill when recovery is exhausted (see field docs on `retry`).
+    ///
+    /// Every successful device read passes the checksum gate
+    /// ([`SimSsd::verify`]) before its bytes can become resident pages: a
+    /// mismatch surfaces as the transient [`crate::IoError::Corrupt`], so
+    /// the retry loop re-reads from the device instead of caching (and
+    /// then endlessly serving) poisoned bytes.
     fn device_read_degraded(&self, file: FileHandle, offset: u64, buf: &mut [u8]) {
         let policy = *self.retry.lock();
         let outcome = policy.run(
             || self.m_retries.inc(),
-            |_| self.ssd.read_blocking(file, offset, buf, false),
+            |_| {
+                self.ssd.read_blocking(file, offset, buf, false)?;
+                self.ssd
+                    .verify(file, offset, buf)
+                    .map_err(crate::error::IoError::from)
+            },
         );
         if outcome.is_err() {
             buf.fill(0);
@@ -715,6 +726,37 @@ mod tests {
         let mut buf = [7u8; 8];
         cache.read(f, 2 * PAGE_SIZE as u64, &mut buf);
         assert_eq!(buf, [0u8; 8], "exhausted retries degrade to zero-fill");
+    }
+
+    #[test]
+    fn corrupted_fills_are_reread_before_becoming_resident() {
+        use crate::fault::FaultPlan;
+        use std::time::Duration;
+        let (cache, f, _gov) = setup(16, 4);
+        cache.set_readahead(0);
+        cache.set_retry_policy(
+            RetryPolicy::default()
+                .with_max_attempts(8)
+                .with_backoff(Duration::ZERO, Duration::ZERO),
+        );
+        // Half of all reads return silently flipped bits. The checksum
+        // gate must catch each one and the retry loop re-read until a
+        // clean fill lands — the cache never goes resident with poison.
+        cache
+            .ssd
+            .set_fault_plan(FaultPlan::new(17).with_bit_flips(0.5));
+        for page in 0..4u64 {
+            let mut buf = [0u8; 8];
+            cache.read(f, page * PAGE_SIZE as u64, &mut buf);
+            assert_eq!(buf, [page as u8; 8], "page {page} served corrupt bytes");
+        }
+        cache.ssd.clear_faults();
+        // Re-reads of the now-resident pages stay correct (hits).
+        for page in 0..4u64 {
+            let mut buf = [0u8; 8];
+            cache.read(f, page * PAGE_SIZE as u64, &mut buf);
+            assert_eq!(buf, [page as u8; 8]);
+        }
     }
 
     #[test]

@@ -6,17 +6,22 @@
 //! scattered hard-coded loops.
 
 use crate::error::IoError;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 impl IoError {
     /// Whether retrying the same operation can plausibly succeed.
     ///
-    /// Media faults and timeouts are transient (a re-read may hit a healthy
-    /// replica window or a recovered device); shape errors (range,
+    /// Media faults, timeouts, and checksum mismatches are transient (a
+    /// re-read may hit a healthy replica window or a recovered device, and
+    /// in-flight corruption heals on re-read); shape errors (range,
     /// alignment, unknown file), a full ring, and a closed device are
     /// permanent — retrying them only burns time.
     pub fn is_transient(&self) -> bool {
-        matches!(self, IoError::DeviceFault { .. } | IoError::Timeout)
+        matches!(
+            self,
+            IoError::DeviceFault { .. } | IoError::Timeout | IoError::Corrupt { .. }
+        )
     }
 }
 
@@ -33,7 +38,17 @@ pub struct RetryPolicy {
     /// asynchronous completion waits). Drives
     /// [`crate::IoRing::wait_completion_deadline`].
     pub op_timeout: Duration,
+    /// Jitter applied to each backoff, in percent of the computed pause
+    /// (0 disables). A seeded multiplier in `[1 - j/100, 1 + j/100]`
+    /// de-synchronizes waiters: with deterministic backoff, every ring
+    /// waiter that failed in the same stall window retries in lockstep —
+    /// a thundering herd against the device's bounded submission queue.
+    pub jitter_pct: u32,
 }
+
+/// Process-wide salt for jittered backoff: each sleeper draws a distinct
+/// ordinal so concurrent waiters spread out instead of herding.
+static JITTER_SALT: AtomicU64 = AtomicU64::new(0);
 
 impl Default for RetryPolicy {
     /// Three immediate attempts with a five-second per-operation deadline.
@@ -49,6 +64,7 @@ impl Default for RetryPolicy {
             base_backoff: Duration::ZERO,
             max_backoff: Duration::from_millis(20),
             op_timeout: Duration::from_secs(5),
+            jitter_pct: 25,
         }
     }
 }
@@ -78,10 +94,33 @@ impl RetryPolicy {
         self
     }
 
-    /// Backoff to sleep before retry number `retry` (0-based).
+    /// Set backoff jitter as a percentage of the computed pause (0–100;
+    /// 0 disables).
+    pub fn with_jitter_pct(mut self, pct: u32) -> Self {
+        self.jitter_pct = pct.min(100);
+        self
+    }
+
+    /// Backoff to sleep before retry number `retry` (0-based), without
+    /// jitter (the deterministic schedule tests assert against).
     pub fn backoff(&self, retry: u32) -> Duration {
         let factor = 1u32 << retry.min(16);
         (self.base_backoff * factor).min(self.max_backoff)
+    }
+
+    /// Backoff with seeded jitter applied: the exponential pause scaled by
+    /// a factor in `[1 - jitter_pct/100, 1 + jitter_pct/100]` drawn from
+    /// `salt` (splitmix64 — deterministic for a given salt, distinct
+    /// across concurrent sleepers).
+    pub fn backoff_jittered(&self, retry: u32, salt: u64) -> Duration {
+        let pause = self.backoff(retry);
+        if self.jitter_pct == 0 || pause.is_zero() {
+            return pause;
+        }
+        let u = crate::fault::mix_unit(salt, retry as u64, 9);
+        let spread = self.jitter_pct.min(100) as f64 / 100.0;
+        let factor = 1.0 + spread * (2.0 * u - 1.0);
+        pause.mul_f64(factor)
     }
 
     /// The absolute deadline an operation starting now must meet.
@@ -98,12 +137,15 @@ impl RetryPolicy {
         mut op: impl FnMut(u32) -> Result<T, IoError>,
     ) -> Result<T, IoError> {
         let mut attempt = 0u32;
+        // One salt per logical operation: its retries follow one jitter
+        // stream while concurrent operations land on different ones.
+        let salt = JITTER_SALT.fetch_add(1, Ordering::Relaxed);
         loop {
             match op(attempt) {
                 Ok(v) => return Ok(v),
                 Err(e) if e.is_transient() && attempt + 1 < self.max_attempts.max(1) => {
                     on_retry();
-                    let pause = self.backoff(attempt);
+                    let pause = self.backoff_jittered(attempt, salt);
                     if !pause.is_zero() {
                         std::thread::sleep(pause);
                     }
@@ -194,8 +236,30 @@ mod tests {
     fn transience_classification() {
         assert!(IoError::DeviceFault { file: 0, offset: 0 }.is_transient());
         assert!(IoError::Timeout.is_transient());
+        assert!(IoError::Corrupt { file: 0, offset: 0 }.is_transient());
         assert!(!IoError::DeviceClosed.is_transient());
         assert!(!IoError::RingFull.is_transient());
         assert!(!IoError::Misaligned { offset: 1, len: 1 }.is_transient());
+    }
+
+    #[test]
+    fn jitter_bounds_and_spreads_backoff() {
+        let policy = RetryPolicy::default()
+            .with_backoff(Duration::from_millis(100), Duration::from_secs(1))
+            .with_jitter_pct(25);
+        let lo = Duration::from_millis(75);
+        let hi = Duration::from_millis(125);
+        let pauses: Vec<Duration> = (0..32).map(|s| policy.backoff_jittered(0, s)).collect();
+        for p in &pauses {
+            assert!((lo..=hi).contains(p), "jittered pause {p:?} out of ±25%");
+        }
+        // Distinct salts must not herd onto one instant.
+        let distinct: std::collections::HashSet<_> = pauses.iter().collect();
+        assert!(distinct.len() > 16, "jitter barely spreads: {distinct:?}");
+        // Deterministic per salt.
+        assert_eq!(policy.backoff_jittered(1, 7), policy.backoff_jittered(1, 7));
+        // Disabled jitter reproduces the pure exponential schedule.
+        let plain = policy.with_jitter_pct(0);
+        assert_eq!(plain.backoff_jittered(0, 42), plain.backoff(0));
     }
 }

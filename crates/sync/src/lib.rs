@@ -48,19 +48,23 @@ pub enum LockRank {
     /// Simulated-SSD state: file table, backing image, fault plans,
     /// bandwidth cursor, I/O latency histograms.
     Storage = 1,
+    /// Device-health window and circuit-breaker bookkeeping. Recorded from
+    /// retry/verification paths that may hold higher-layer locks; acquires
+    /// nothing below it except telemetry atomics.
+    Health = 2,
     /// OS page-cache model: resident-page map, retry policy, miss tracking.
-    PageCache = 2,
+    PageCache = 3,
     /// I/O ring / transfer-engine queue state.
-    Ring = 3,
+    Ring = 4,
     /// Memory-governor reclaim bookkeeping.
-    Governor = 4,
+    Governor = 5,
     /// Feature-buffer, staging-credit and feature-slab locks.
-    Buffer = 5,
+    Buffer = 6,
     /// Pipeline-level state: stage timings, first-error slot, dataset
     /// caches in the bench/baseline harnesses.
-    Pipeline = 6,
+    Pipeline = 7,
     /// Cross-worker gradient synchronization (the `GradSync` barrier).
-    Sync = 7,
+    Sync = 8,
 }
 
 #[cfg(debug_assertions)]

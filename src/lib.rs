@@ -10,5 +10,6 @@ pub use gnndrive_graph as graph;
 pub use gnndrive_nn as nn;
 pub use gnndrive_sampling as sampling;
 pub use gnndrive_storage as storage;
+pub use gnndrive_sync as sync;
 pub use gnndrive_telemetry as telemetry;
 pub use gnndrive_tensor as tensor;

@@ -1,25 +1,40 @@
 //! Chaos e2e: training under seeded storage fault storms.
 //!
-//! Three acceptance properties of the fault-tolerance subsystem:
-//! an epoch completes (with correct accounting and visible retry/skip
-//! telemetry) under a ≥5% read-fault + latency-spike plan; persistent
-//! failures degrade gracefully into skipped batches instead of hangs or
-//! panics, and training recovers once the storm clears; and a mid-run
-//! checkpoint resumes to bit-identical final weights.
+//! Acceptance properties of the fault-tolerance and data-integrity
+//! subsystems: an epoch completes (with correct accounting and visible
+//! retry/skip telemetry) under a ≥5% read-fault + latency-spike plan;
+//! persistent failures degrade gracefully into skipped batches instead of
+//! hangs or panics, and training recovers once the storm clears; a mid-run
+//! checkpoint resumes to bit-identical final weights; a *silently*
+//! bit-rotting device is fully caught by checksum verification (every
+//! corruption detected, zero poisoned extractions, the loss trajectory
+//! identical to a clean run); and the device-health circuit breaker trips
+//! on an error burst, fails batches fast, and recovers via a half-open
+//! probe.
 
 use gnndrive::core::{GnnDriveConfig, Pipeline, TrainCheckpoint, TrainingSystem};
 use gnndrive::device::GpuDevice;
 use gnndrive::graph::{Dataset, DatasetSpec};
 use gnndrive::nn::ModelKind;
-use gnndrive::storage::{FaultPlan, MemoryGovernor, PageCache, RetryPolicy, SimSsd, SsdProfile};
+use gnndrive::storage::{
+    FaultPlan, HealthConfig, HealthState, MemoryGovernor, PageCache, RetryPolicy, SimSsd,
+    SsdProfile,
+};
+use gnndrive::sync::{LockRank, OrderedMutex};
 use gnndrive::telemetry;
 use std::sync::Arc;
 use std::time::Duration;
 
+/// The integrity counters (`storage.integrity.*`) are process-global, and
+/// the corruption tests assert exact detected == injected equality on
+/// their deltas — so tests that inject silent corruption serialize on this
+/// gate to keep each other's increments out of their windows.
+static INTEGRITY_GATE: OrderedMutex<()> = OrderedMutex::new(LockRank::Sync, ());
+
 /// A small planted-label dataset on its own simulated SSD, so each test's
 /// fault plan cannot leak into a neighbor running in the same process.
-fn dataset(seed: u64) -> Arc<Dataset> {
-    let ssd = SimSsd::new(SsdProfile::pm883_repro());
+fn dataset_on(profile: SsdProfile, seed: u64) -> Arc<Dataset> {
+    let ssd = SimSsd::new(profile);
     Arc::new(Dataset::build(
         DatasetSpec {
             name: format!("chaos-{seed}"),
@@ -36,10 +51,12 @@ fn dataset(seed: u64) -> Arc<Dataset> {
     ))
 }
 
-fn pipeline(ds: &Arc<Dataset>, reorder: bool, retry: RetryPolicy) -> Pipeline {
-    let gov = MemoryGovernor::unlimited();
-    let cache = PageCache::new(Arc::clone(&ds.ssd), Arc::clone(&gov));
-    let cfg = GnnDriveConfig {
+fn dataset(seed: u64) -> Arc<Dataset> {
+    dataset_on(SsdProfile::pm883_repro(), seed)
+}
+
+fn chaos_cfg(reorder: bool, retry: RetryPolicy) -> GnnDriveConfig {
+    GnnDriveConfig {
         reorder,
         retry,
         fanouts: vec![4, 4],
@@ -47,7 +64,12 @@ fn pipeline(ds: &Arc<Dataset>, reorder: bool, retry: RetryPolicy) -> Pipeline {
         feature_buffer_slots: 16_384,
         seed: 7,
         ..Default::default()
-    };
+    }
+}
+
+fn pipeline_cfg(ds: &Arc<Dataset>, cfg: GnnDriveConfig) -> Pipeline {
+    let gov = MemoryGovernor::unlimited();
+    let cache = PageCache::new(Arc::clone(&ds.ssd), Arc::clone(&gov));
     Pipeline::builder(Arc::clone(ds), GpuDevice::rtx3090())
         .model(ModelKind::GraphSage, 16)
         .config(cfg)
@@ -55,6 +77,10 @@ fn pipeline(ds: &Arc<Dataset>, reorder: bool, retry: RetryPolicy) -> Pipeline {
         .page_cache(cache)
         .build()
         .expect("pipeline")
+}
+
+fn pipeline(ds: &Arc<Dataset>, reorder: bool, retry: RetryPolicy) -> Pipeline {
+    pipeline_cfg(ds, chaos_cfg(reorder, retry))
 }
 
 #[test]
@@ -198,4 +224,251 @@ fn checkpoint_resume_reaches_identical_weights() {
         resumed.model_mut().save(),
         "a restore must be indistinguishable from never crashing"
     );
+}
+
+/// The corruption-storm acceptance test: a device that silently flips bits
+/// on 2% of feature reads (success status, wrong bytes) must train a full
+/// epoch to *exactly* the same loss and weights as a clean device — every
+/// corruption caught at a read boundary and healed by a re-read, none
+/// reaching a feature slab.
+#[test]
+fn corruption_storm_matches_clean_loss_trajectory() {
+    let _gate = INTEGRITY_GATE.lock();
+    // Identical datasets (same spec seed) on independent devices.
+    let ds_clean = dataset_on(SsdProfile::instant(), 4);
+    let ds_dirty = dataset_on(SsdProfile::instant(), 4);
+    ds_dirty.ssd.set_fault_plan(
+        FaultPlan::new(0xB17F11)
+            .with_bit_flips(0.02)
+            .on_file(ds_dirty.features_file.id),
+    );
+    let injected_before = telemetry::counter("storage.integrity.injected").get();
+    let detected_before = telemetry::counter("storage.integrity.detected").get();
+
+    // reorder = false → the trajectory is a pure function of the batch
+    // plan, so the two runs are comparable batch for batch. Extra retry
+    // attempts let a re-read that is itself corrupted heal on the next.
+    let retry = RetryPolicy::default().with_max_attempts(8);
+    let mut clean = pipeline_cfg(&ds_clean, chaos_cfg(false, retry));
+    let mut dirty = pipeline_cfg(&ds_dirty, chaos_cfg(false, retry));
+    let r_clean = clean.train_epoch(0, None);
+    let r_dirty = dirty.train_epoch(0, None);
+    ds_dirty.ssd.clear_faults();
+
+    let injected = telemetry::counter("storage.integrity.injected").get() - injected_before;
+    let detected = telemetry::counter("storage.integrity.detected").get() - detected_before;
+    assert!(
+        injected > 0,
+        "a 2% bit-flip plan over a full epoch must fire"
+    );
+    assert_eq!(
+        detected, injected,
+        "every silently corrupted read must be caught by verification"
+    );
+    assert_eq!(
+        telemetry::counter("storage.integrity.escaped").get(),
+        0,
+        "zero poisoned extractions: no corruption may pass verification"
+    );
+
+    // The storm must be invisible to training: no failed batches, the
+    // same per-epoch loss, bit-identical weights.
+    assert_eq!(r_dirty.failed_batches, 0, "{:?}", r_dirty.error);
+    assert_eq!(r_dirty.batches, r_clean.batches);
+    assert_eq!(
+        r_dirty.loss.to_bits(),
+        r_clean.loss.to_bits(),
+        "loss diverged: clean {} vs bit-rot {}",
+        r_clean.loss,
+        r_dirty.loss
+    );
+    assert_eq!(
+        dirty.model_mut().save(),
+        clean.model_mut().save(),
+        "weights diverged under a fully-caught corruption storm"
+    );
+}
+
+/// Deterministic corruption accounting at the extraction layer: with a
+/// single-threaded synchronous extractor (strictly sequential device
+/// reads), a fixed fault-plan seed yields the *exact same*
+/// detected/injected counts run after run, and every extracted row
+/// shadow-checksums clean against the dataset's ground truth.
+#[test]
+fn corruption_detection_is_deterministic_and_rows_checksum_clean() {
+    use gnndrive::core::extractor::{extract_batch, ExtractorContext};
+    use gnndrive::core::FeatureBufferManager;
+    use gnndrive::device::FeatureSlab;
+    use gnndrive::sampling::{InMemTopo, NeighborSampler};
+    use gnndrive::storage::{crc32, DeviceHealth};
+
+    let _gate = INTEGRITY_GATE.lock();
+
+    let run = || -> (u64, u64) {
+        let ds = dataset_on(SsdProfile::instant(), 6);
+        ds.ssd.set_fault_plan(
+            FaultPlan::new(0x5EEDED)
+                .with_bit_flips(0.05)
+                .on_file(ds.features_file.id),
+        );
+        let injected_before = telemetry::counter("storage.integrity.injected").get();
+        let detected_before = telemetry::counter("storage.integrity.detected").get();
+
+        let cfg = GnnDriveConfig::default();
+        let slab = Arc::new(FeatureSlab::new(8_192, ds.spec.feat_dim));
+        let fb = Arc::new(FeatureBufferManager::new(
+            Arc::clone(&slab),
+            ds.spec.num_nodes,
+            &cfg,
+        ));
+        // CPU-mode, synchronous, one thread: device reads are strictly
+        // sequential, so fault-plan ordinals — and therefore corruption
+        // counts — are a pure function of the seed.
+        let ctx = ExtractorContext {
+            ssd: Arc::clone(&ds.ssd),
+            features_file: ds.features_file,
+            feat_dim: ds.spec.feat_dim,
+            fb: Arc::clone(&fb),
+            staging: None,
+            transfer: None,
+            direct_io: true,
+            gpu_direct: false,
+            sync_extract: true,
+            ring_depth: 16,
+            max_joint_read_bytes: 8_192,
+            retry: RetryPolicy::default().with_max_attempts(8),
+            health: Arc::new(DeviceHealth::new(HealthConfig::default())),
+        };
+        let sampler = NeighborSampler::new(
+            Arc::new(InMemTopo::new(Arc::clone(&ds.topology))),
+            vec![4, 4],
+        );
+        let mut row = vec![0.0f32; ds.spec.feat_dim];
+        for batch_id in 0..6u64 {
+            let seeds: Vec<u32> = (0..24)
+                .map(|i| (batch_id as u32 * 131 + i) % 4_000)
+                .collect();
+            let sample = sampler.sample(batch_id, &seeds, 99);
+            let nodes = sample.input_nodes.clone();
+            let batch = extract_batch(&ctx, sample).expect("storm within retry budget");
+            // Shadow-checksum every extracted row against ground truth:
+            // a poisoned row would change its CRC32.
+            for (i, &node) in batch.sample.input_nodes.iter().enumerate() {
+                fb.slab().read_row(batch.aliases[i], &mut row);
+                let got: Vec<u8> = row.iter().flat_map(|v| v.to_le_bytes()).collect();
+                let want: Vec<u8> = ds
+                    .peek_feature_row(node)
+                    .iter()
+                    .flat_map(|v| v.to_le_bytes())
+                    .collect();
+                assert_eq!(
+                    crc32(&got),
+                    crc32(&want),
+                    "row for node {node} extracted poisoned bytes"
+                );
+            }
+            fb.release(&nodes);
+        }
+        ds.ssd.clear_faults();
+        let injected = telemetry::counter("storage.integrity.injected").get() - injected_before;
+        let detected = telemetry::counter("storage.integrity.detected").get() - detected_before;
+        (injected, detected)
+    };
+
+    let (injected_a, detected_a) = run();
+    let (injected_b, detected_b) = run();
+    assert!(injected_a > 0, "the 5% plan must fire over six batches");
+    assert_eq!(detected_a, injected_a, "every corruption must be detected");
+    assert_eq!(
+        (injected_a, detected_a),
+        (injected_b, detected_b),
+        "fixed seed must reproduce exact corruption counts"
+    );
+    assert_eq!(
+        telemetry::counter("storage.integrity.escaped").get(),
+        0,
+        "zero silent escapes"
+    );
+}
+
+/// The circuit breaker under a stall + error burst: the device stalls and
+/// fails every read, the breaker trips, remaining batches fail fast (the
+/// epoch completes instead of hanging), and once the device heals a
+/// half-open probe closes the circuit and async-ring extraction resumes —
+/// all of it visible in the RunReport JSON.
+#[test]
+fn circuit_breaker_trips_fails_fast_and_recovers_via_probe() {
+    let ds = dataset_on(SsdProfile::instant(), 8);
+    ds.ssd.set_fault_plan(
+        FaultPlan::new(0x09E17)
+            .with_read_fault_prob(1.0)
+            .with_stall(0..u64::MAX, Duration::from_micros(500))
+            .on_file(ds.features_file.id),
+    );
+    let trips_before = telemetry::counter("storage.health.trips").get();
+    let recoveries_before = telemetry::counter("storage.health.recoveries").get();
+
+    let mut cfg = chaos_cfg(true, RetryPolicy::none());
+    // One extractor so post-recovery admission is strictly sequential:
+    // the probe batch runs alone, everything after it rides the ring.
+    cfg.num_extractors = 1;
+    cfg.health = HealthConfig {
+        window: 16,
+        min_samples: 8,
+        cooldown: Duration::from_millis(50),
+        ..HealthConfig::enabled()
+    };
+    let mut p = pipeline_cfg(&ds, cfg);
+    let monitor = telemetry::Monitor::start(Duration::from_millis(10));
+
+    // Storm epoch: enough batches that the window fills and trips. Every
+    // batch fails (retries exhausted or failed fast) but the epoch ENDS —
+    // the breaker turns a pathological device into bounded failure.
+    let r = p.train_epoch(0, Some(8));
+    assert_eq!(r.batches, 0, "no batch can survive a total fault storm");
+    assert_eq!(r.failed_batches, r.full_batches.min(8));
+    assert!(
+        telemetry::counter("storage.health.trips").get() > trips_before,
+        "the error burst must trip the circuit"
+    );
+    assert_eq!(
+        p.device_health().state(),
+        HealthState::CircuitOpen,
+        "breaker must be open after the storm"
+    );
+
+    // Device heals; after the cooldown the next epoch's first batch wins
+    // the half-open probe, closes the circuit, and the rest of the epoch
+    // trains normally on the async ring.
+    ds.ssd.clear_faults();
+    std::thread::sleep(Duration::from_millis(80));
+    let r2 = p.train_epoch(1, Some(8));
+    let series = monitor.stop();
+    assert!(r2.error.is_none(), "{:?}", r2.error);
+    assert_eq!(r2.failed_batches, 0, "healed device must train cleanly");
+    assert_eq!(r2.batches, r2.full_batches.min(8));
+    assert_eq!(p.device_health().state(), HealthState::Healthy);
+    assert!(
+        telemetry::counter("storage.health.recoveries").get() > recoveries_before,
+        "recovery must go through a successful half-open probe"
+    );
+
+    // The whole trip/probe/recovery story lands in the run report.
+    let report = gnndrive_bench::collect_report("chaos.circuit_breaker", "chaos e2e", series);
+    let text = report.to_json().to_json_string();
+    let parsed = telemetry::RunReport::parse(&text).expect("valid report JSON");
+    let names = parsed.metric_names();
+    for required in [
+        "storage.health.state",
+        "storage.health.trips",
+        "storage.health.probes",
+        "storage.health.recoveries",
+        "storage.integrity.detected",
+        "pipeline.batches_skipped",
+    ] {
+        assert!(
+            names.contains(&required),
+            "run report must carry {required}: {names:?}"
+        );
+    }
 }

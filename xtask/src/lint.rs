@@ -1,7 +1,8 @@
 //! Concurrency & telemetry static analysis (`cargo xtask lint`).
 //!
-//! Five rules, each encoding a workspace concurrency invariant (see
-//! DESIGN.md §8 "Concurrency invariants"):
+//! Six rules, each encoding a workspace concurrency invariant (see
+//! DESIGN.md §8 "Concurrency invariants" and §9 "Integrity & device
+//! health"):
 //!
 //! * **raw-lock** — no `std::sync`/`parking_lot` `Mutex`/`RwLock`/`Condvar`
 //!   outside `crates/sync`; every lock must be a `gnndrive_sync::Ordered*`
@@ -17,6 +18,13 @@
 //! * **metric-name** — metric names at `counter`/`gauge`/`histogram_ns`/
 //!   `Scope::new` call sites follow the registry scheme:
 //!   dot-separated segments of `[a-z0-9_]`.
+//! * **recovery-abort** — the integrity/recovery paths (retry, fault
+//!   injection, scrubbing, device health, checksum verification,
+//!   checkpoint decode) may not abort the process: no `panic!`,
+//!   `unreachable!`, `todo!`, `unimplemented!`, `process::exit` or
+//!   `process::abort` outside tests. A corrupted page or tripped breaker
+//!   is a runtime condition these modules exist to survive; they must
+//!   return typed errors.
 //!
 //! The pass is a token-level scanner, not a full parser: comments and
 //! string literals are blanked before matching (so prose never trips a
@@ -65,6 +73,9 @@ pub struct FileClass {
     pub is_test_file: bool,
     /// `crates/sync` itself may construct raw parking_lot primitives.
     pub is_sync_crate: bool,
+    /// Library source on an integrity/recovery path (retry, scrub,
+    /// health, checkpoint decode): the `recovery-abort` rule applies.
+    pub is_recovery_path: bool,
 }
 
 /// Parsed `xtask/lint-allow.toml`.
@@ -87,7 +98,7 @@ impl Allowlist {
         let mut out = Allowlist::default();
         let mut cur: Option<(Option<String>, Option<String>)> = None;
         let flush = |cur: &mut Option<(Option<String>, Option<String>)>,
-                         out: &mut Allowlist|
+                     out: &mut Allowlist|
          -> Result<(), String> {
             if let Some((path, reason)) = cur.take() {
                 let path = path.ok_or("[[relaxed]] entry missing `path`")?;
@@ -154,8 +165,8 @@ pub fn run(root: &Path) -> Result<Vec<Diagnostic>, String> {
             .to_string_lossy()
             .replace('\\', "/");
         let class = classify(&rel);
-        let source = std::fs::read_to_string(&file)
-            .map_err(|e| format!("cannot read {rel}: {e}"))?;
+        let source =
+            std::fs::read_to_string(&file).map_err(|e| format!("cannot read {rel}: {e}"))?;
         diags.extend(lint_source(&rel, &source, class, &allow));
     }
     Ok(diags)
@@ -180,6 +191,17 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
+/// Files whose whole purpose is surviving faults: they must degrade or
+/// return typed errors, never abort the process (`recovery-abort`).
+const RECOVERY_PATHS: [&str; 6] = [
+    "crates/storage/src/retry.rs",
+    "crates/storage/src/fault.rs",
+    "crates/storage/src/integrity.rs",
+    "crates/storage/src/scrub.rs",
+    "crates/storage/src/health.rs",
+    "crates/core/src/checkpoint.rs",
+];
+
 fn classify(rel: &str) -> FileClass {
     FileClass {
         is_test_file: rel.contains("/tests/")
@@ -187,6 +209,7 @@ fn classify(rel: &str) -> FileClass {
             || rel.contains("/benches/")
             || rel.contains("/examples/"),
         is_sync_crate: rel.starts_with("crates/sync/"),
+        is_recovery_path: RECOVERY_PATHS.contains(&rel),
     }
 }
 
@@ -211,6 +234,9 @@ pub fn lint_source(
         rule_blocking_under_lock(path, &code, &lines, &mut diags);
         rule_relaxed_ordering(path, &code, &lines, allow, &mut diags);
         rule_fallible_sync(path, &code, &lines, &mut diags);
+    }
+    if class.is_recovery_path && !class.is_test_file {
+        rule_recovery_abort(path, &code, &lines, &mut diags);
     }
     rule_metric_name(path, &stripped, source, &lines, &mut diags);
     diags
@@ -403,7 +429,8 @@ fn rule_raw_lock(path: &str, code: &str, lines: &[&str], diags: &mut Vec<Diagnos
         let flagged = ["Mutex", "RwLock", "Condvar"]
             .iter()
             .find(|t| {
-                after.starts_with(**t) && !after.as_bytes().get(t.len()).copied().is_some_and(is_ident)
+                after.starts_with(**t)
+                    && !after.as_bytes().get(t.len()).copied().is_some_and(is_ident)
             })
             .copied();
         let brace_hit = after.starts_with('{')
@@ -468,10 +495,7 @@ fn rule_blocking_under_lock(path: &str, code: &str, lines: &[&str], diags: &mut 
                 .split_once('=')
                 .is_some_and(|(_, rhs)| rhs.trim_start().starts_with('*'));
             if !name.is_empty() && takes_guard && line.contains('=') && !deref_copy {
-                guards.push(Guard {
-                    name,
-                    depth,
-                });
+                guards.push(Guard { name, depth });
             }
         }
         // Explicit early drop.
@@ -488,8 +512,7 @@ fn rule_blocking_under_lock(path: &str, code: &str, lines: &[&str], diags: &mut 
                 // `.read_blocking` as part of a longer identifier is fine.
                 let pre_ok = pos == 0 || !is_ident(line.as_bytes()[pos - 1]);
                 if pre_ok && !guards.is_empty() {
-                    let held: Vec<&str> =
-                        guards.iter().map(|g| g.name.as_str()).collect();
+                    let held: Vec<&str> = guards.iter().map(|g| g.name.as_str()).collect();
                     push_diag(
                         diags,
                         "blocking-under-lock",
@@ -568,7 +591,12 @@ fn rule_fallible_sync(path: &str, code: &str, lines: &[&str], diags: &mut Vec<Di
     hits.sort_unstable();
     for dot in hits {
         // Must actually be a call.
-        let after = dot + if code[dot..].starts_with(".unwrap") { 7 } else { 7 };
+        let after = dot
+            + if code[dot..].starts_with(".unwrap") {
+                7
+            } else {
+                7
+            };
         if bytes.get(after) != Some(&b'(') {
             continue;
         }
@@ -626,6 +654,43 @@ fn rule_fallible_sync(path: &str, code: &str, lines: &[&str], diags: &mut Vec<Di
                 lines,
                 code,
                 dot,
+            );
+        }
+    }
+}
+
+/// Rule `recovery-abort`: no process-aborting construct in the
+/// integrity/recovery modules. These files are the error path — a
+/// `panic!` there turns a survivable corrupted sector into a dead
+/// trainer.
+fn rule_recovery_abort(path: &str, code: &str, lines: &[&str], diags: &mut Vec<Diagnostic>) {
+    const ABORTS: [&str; 6] = [
+        "panic!",
+        "unreachable!",
+        "todo!",
+        "unimplemented!",
+        "process::exit",
+        "process::abort",
+    ];
+    const HELP: &str = "recovery paths must return a typed error (IntegrityError, \
+                        CheckpointError, IoError) or degrade via DeviceHealth; \
+                        aborting defeats the quarantine/retry machinery";
+    let bytes = code.as_bytes();
+    for pat in ABORTS {
+        for (idx, _) in code.match_indices(pat) {
+            // `my_panic!` or `reprocess::exit`-style identifiers are fine.
+            if idx > 0 && is_ident(bytes[idx - 1]) {
+                continue;
+            }
+            push_diag(
+                diags,
+                "recovery-abort",
+                format!("`{pat}` in a recovery-path module"),
+                HELP,
+                path,
+                lines,
+                code,
+                idx,
             );
         }
     }
@@ -694,6 +759,7 @@ mod tests {
     const LIB: FileClass = FileClass {
         is_test_file: false,
         is_sync_crate: false,
+        is_recovery_path: false,
     };
 
     fn lint(src: &str) -> Vec<Diagnostic> {
@@ -724,10 +790,16 @@ mod tests {
         let sync_class = FileClass {
             is_test_file: false,
             is_sync_crate: true,
+            is_recovery_path: false,
         };
         let src = "use std::sync::Mutex;\nuse parking_lot::Condvar;\n";
-        assert!(lint_source("crates/sync/src/lib.rs", src, sync_class, &Allowlist::default())
-            .is_empty());
+        assert!(lint_source(
+            "crates/sync/src/lib.rs",
+            src,
+            sync_class,
+            &Allowlist::default()
+        )
+        .is_empty());
         // std::sync::Arc and atomics never trip the rule.
         assert!(rules("use std::sync::Arc;\nuse std::sync::atomic::AtomicU64;\n").is_empty());
     }
@@ -820,9 +892,15 @@ mod tests {
         let test_class = FileClass {
             is_test_file: true,
             is_sync_crate: false,
+            is_recovery_path: false,
         };
-        assert!(lint_source("crates/demo/tests/t.rs", src, test_class, &Allowlist::default())
-            .is_empty());
+        assert!(lint_source(
+            "crates/demo/tests/t.rs",
+            src,
+            test_class,
+            &Allowlist::default()
+        )
+        .is_empty());
         let in_mod = "#[cfg(test)]\nmod tests {\n    fn f() { h.join().unwrap(); }\n}\n";
         assert!(rules(in_mod).is_empty());
     }
@@ -856,6 +934,54 @@ mod tests {
         assert!(rules(src).is_empty());
     }
 
+    // -- rule f: recovery-abort -------------------------------------------
+
+    const RECOVERY: FileClass = FileClass {
+        is_test_file: false,
+        is_sync_crate: false,
+        is_recovery_path: true,
+    };
+
+    fn lint_recovery(src: &str) -> Vec<Diagnostic> {
+        lint_source(
+            "crates/storage/src/retry.rs",
+            src,
+            RECOVERY,
+            &Allowlist::default(),
+        )
+    }
+
+    #[test]
+    fn aborts_in_recovery_path_files_are_flagged() {
+        let src = "fn f(x: u8) {\n    if x > 3 { panic!(\"bad sector\"); }\n    \
+                   match x { 0 => std::process::exit(1), _ => unreachable!() }\n}\n";
+        let got: Vec<&'static str> = lint_recovery(src).into_iter().map(|d| d.rule).collect();
+        assert_eq!(
+            got,
+            vec!["recovery-abort", "recovery-abort", "recovery-abort"]
+        );
+    }
+
+    #[test]
+    fn recovery_path_files_are_classified_from_their_path() {
+        assert!(classify("crates/storage/src/health.rs").is_recovery_path);
+        assert!(classify("crates/core/src/checkpoint.rs").is_recovery_path);
+        assert!(!classify("crates/core/src/pipeline.rs").is_recovery_path);
+    }
+
+    #[test]
+    fn aborts_outside_recovery_paths_or_in_tests_are_exempt() {
+        // Same source, non-recovery file class: no diagnostic.
+        let src = "fn f() { panic!(\"boom\"); }\n";
+        assert!(rules(src).is_empty());
+        // Inside a #[cfg(test)] module of a recovery file: also fine.
+        let in_mod = "#[cfg(test)]\nmod tests {\n    fn f() { panic!(\"boom\"); }\n}\n";
+        assert!(lint_recovery(in_mod).is_empty());
+        // Prose and identifiers never trip the rule.
+        let benign = "// a panic! here would be fatal\nfn f() { my_panic!(); }\n";
+        assert!(lint_recovery(benign).is_empty());
+    }
+
     // -- allowlist parsing ------------------------------------------------
 
     #[test]
@@ -864,12 +990,18 @@ mod tests {
                     reason = \"per-thread counters aggregated at snapshot\"\n";
         let a = Allowlist::parse(good).unwrap();
         assert!(a.allows_relaxed("crates/a/src/x.rs"));
-        assert!(Allowlist::parse("[[relaxed]]\npath = \"x\"\n").is_err(), "missing reason");
+        assert!(
+            Allowlist::parse("[[relaxed]]\npath = \"x\"\n").is_err(),
+            "missing reason"
+        );
         assert!(
             Allowlist::parse("[[relaxed]]\npath = \"x\"\nreason = \"short\"\n").is_err(),
             "reason too short"
         );
-        assert!(Allowlist::parse("path = \"x\"\n").is_err(), "key outside table");
+        assert!(
+            Allowlist::parse("path = \"x\"\n").is_err(),
+            "key outside table"
+        );
     }
 
     // -- diagnostics format ----------------------------------------------
