@@ -246,6 +246,10 @@ fn cmd_train(flags: HashMap<String, String>) {
     report.add_scalar("wall_secs", wall.as_secs_f64());
     report.add_scalar("final_loss", last_loss);
     report.add_scalar("val_acc", sys.evaluate());
+    if let Some(attr) = sys.last_attribution() {
+        attr.apply_to(&mut report);
+        println!("bottleneck verdict: {}", attr.verdict.label());
+    }
     write_report(&report);
 }
 
@@ -418,6 +422,10 @@ fn train_checkpointed(
     report.add_scalar("wall_secs", wall.as_secs_f64());
     report.add_scalar("final_loss", last_loss);
     report.add_scalar("val_acc", p.evaluate());
+    if let Some(attr) = p.last_attribution() {
+        attr.apply_to(&mut report);
+        println!("bottleneck verdict: {}", attr.verdict.label());
+    }
     write_report(&report);
 }
 

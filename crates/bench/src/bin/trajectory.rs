@@ -1,0 +1,157 @@
+//! `trajectory` — perf-trajectory bench harness (DESIGN.md §10).
+//!
+//! ```text
+//! trajectory run [--out DIR]                   # run the pinned suite
+//! trajectory check <dir>                       # schema + verdict validation
+//! trajectory compare <baseline> <new> [--threshold X]
+//! ```
+//!
+//! `run` executes the pinned scenario suite (tight_memory / compute_heavy /
+//! balanced) and writes one `BENCH_<scenario>.json` per scenario under
+//! `--out` (default `results/baselines`). `check` validates every artifact
+//! in a directory, including that verdict-pinned scenarios produced their
+//! expected bottleneck verdict. `compare` diffs two artifact directories
+//! and exits nonzero if any metric regressed beyond the threshold
+//! (default 0.5 = +50%; CI uses 3.0 to ride out shared-runner noise).
+
+use gnndrive_bench::trajectory::{bench_path, compare, run_scenario, suite, validate_bench};
+use gnndrive_telemetry::Json;
+use std::path::{Path, PathBuf};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  trajectory run [--out DIR]\n  trajectory check <dir>\n  \
+         trajectory compare <baseline-dir> <new-dir> [--threshold X]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("trajectory: {msg}");
+    std::process::exit(1);
+}
+
+fn read_doc(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn cmd_run(out_dir: &Path) {
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        fail(&format!("create {}: {e}", out_dir.display()));
+    }
+    for ts in suite() {
+        println!("== {} ({} batches)", ts.name, ts.max_batches);
+        let doc = match run_scenario(&ts) {
+            Ok(doc) => doc,
+            Err(e) => fail(&e),
+        };
+        if let Err(e) = validate_bench(&doc) {
+            fail(&format!("{}: produced invalid artifact: {e}", ts.name));
+        }
+        let path = bench_path(out_dir, ts.name);
+        if let Err(e) = std::fs::write(&path, doc.to_json_string() + "\n") {
+            fail(&format!("write {}: {e}", path.display()));
+        }
+        let verdict = doc
+            .get("attribution")
+            .and_then(|a| a.get("verdict"))
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string();
+        println!("   verdict {verdict} -> {}", path.display());
+    }
+}
+
+fn cmd_check(dir: &Path) {
+    let mut checked = 0usize;
+    let mut errors = Vec::new();
+    for ts in suite() {
+        let path = bench_path(dir, ts.name);
+        match read_doc(&path).and_then(|doc| validate_bench(&doc)) {
+            Ok(()) => {
+                checked += 1;
+                println!("ok {}", path.display());
+            }
+            Err(e) => errors.push(e),
+        }
+    }
+    for e in &errors {
+        eprintln!("trajectory: {e}");
+    }
+    if !errors.is_empty() || checked == 0 {
+        std::process::exit(1);
+    }
+}
+
+fn cmd_compare(base_dir: &Path, new_dir: &Path, threshold: f64) {
+    let mut regressions = Vec::new();
+    for ts in suite() {
+        let base = match read_doc(&bench_path(base_dir, ts.name)) {
+            Ok(d) => d,
+            Err(e) => fail(&e),
+        };
+        let new = match read_doc(&bench_path(new_dir, ts.name)) {
+            Ok(d) => d,
+            Err(e) => fail(&e),
+        };
+        match compare(&base, &new, threshold) {
+            Ok(regs) => regressions.extend(regs),
+            Err(e) => fail(&format!("{}: {e}", ts.name)),
+        }
+    }
+    if regressions.is_empty() {
+        println!("no regressions beyond +{:.0}%", threshold * 100.0);
+    } else {
+        for r in &regressions {
+            eprintln!("trajectory: {r}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => {
+            let mut out = PathBuf::from("results/baselines");
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--out" if i + 1 < args.len() => {
+                        out = PathBuf::from(&args[i + 1]);
+                        i += 2;
+                    }
+                    _ => usage(),
+                }
+            }
+            cmd_run(&out);
+        }
+        Some("check") => match args.get(1) {
+            Some(dir) if args.len() == 2 => cmd_check(Path::new(dir)),
+            _ => usage(),
+        },
+        Some("compare") => {
+            let (base, new) = match (args.get(1), args.get(2)) {
+                (Some(b), Some(n)) => (PathBuf::from(b), PathBuf::from(n)),
+                _ => usage(),
+            };
+            let mut threshold = 0.5;
+            let mut i = 3;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--threshold" if i + 1 < args.len() => {
+                        threshold = match args[i + 1].parse() {
+                            Ok(t) => t,
+                            Err(_) => usage(),
+                        };
+                        i += 2;
+                    }
+                    _ => usage(),
+                }
+            }
+            cmd_compare(&base, &new, threshold);
+        }
+        _ => usage(),
+    }
+}

@@ -24,6 +24,7 @@
 pub mod artifacts;
 pub mod report;
 pub mod scenario;
+pub mod trajectory;
 
 pub use artifacts::{
     collect_report, report_dir, scenario_desc, slug, write_report, PIPELINE_STAGES,

@@ -67,6 +67,10 @@ pub struct Scenario {
     pub ssd: SsdProfile,
     /// Override GNNDrive's feature-buffer slot count (Fig 12 sweeps it).
     pub fb_slots_override: Option<usize>,
+    /// Run GNNDrive's synchronous-extraction ablation instead of the
+    /// asynchronous two-phase path (§4.2; the trajectory suite exercises
+    /// attribution under both extractor modes).
+    pub sync_extract: bool,
 }
 
 impl Scenario {
@@ -87,6 +91,7 @@ impl Scenario {
             fanouts: vec![4, 4, 4],
             ssd: SsdProfile::pm883_repro(),
             fb_slots_override: None,
+            sync_extract: false,
         }
     }
 
@@ -98,16 +103,22 @@ impl Scenario {
         (base * self.scale) as u64
     }
 
-    fn dataset_key(&self) -> (String, usize, u64) {
+    fn dataset_key(&self) -> DatasetKey {
         (
             self.dataset.name().to_string(),
             self.dim,
             (self.scale * 1_000_000.0) as u64,
+            // The SimSsd lives inside the cached Dataset, so the profile
+            // must be part of the key — otherwise a scenario's `ssd`
+            // override is silently dropped whenever an earlier scenario
+            // already built the same graph (the trajectory suite mixes
+            // profiles over one graph).
+            format!("{}:{}", self.ssd.name, self.ssd.read_latency.as_nanos()),
         )
     }
 }
 
-type DatasetKey = (String, usize, u64);
+type DatasetKey = (String, usize, u64, String);
 static DATASET_CACHE: OrderedMutex<Option<HashMap<DatasetKey, Arc<Dataset>>>> =
     OrderedMutex::new(LockRank::Pipeline, None);
 
@@ -285,6 +296,7 @@ pub fn build_gnndrive_pipeline(
         fanouts: sc.fanouts.clone(),
         batch_size: sc.batch_size,
         seed,
+        sync_extract: sc.sync_extract,
         ..Default::default()
     };
     Pipeline::builder(Arc::clone(ds), device)
@@ -326,6 +338,7 @@ pub fn build_gnndrive_workers(
             fanouts: sc.fanouts.clone(),
             batch_size: sc.batch_size,
             seed,
+            sync_extract: sc.sync_extract,
             ..Default::default()
         };
         let p = Pipeline::builder(Arc::clone(ds), device)

@@ -122,6 +122,14 @@ pub struct ExtractedBatch {
     pub aliases: Vec<u32>,
     /// How many nodes this extraction actually loaded from SSD.
     pub loaded_nodes: usize,
+    /// Blocking-edge decomposition of this extraction (DESIGN.md §10):
+    /// staging/slot/ring/sync-read/transfer/ready waits accumulated by the
+    /// extractor thread's wait timers.
+    pub waits: telemetry::WaitTotals,
+    /// Enqueue→dispatch share of the async reads this batch reaped.
+    pub io_queue_ns: u64,
+    /// Dispatch→complete (device service) share of those reads.
+    pub io_service_ns: u64,
 }
 
 /// One joint-extraction read: a contiguous SSD window covering the feature
@@ -251,6 +259,10 @@ fn extract_batch_inner(
     force_sync: bool,
 ) -> Result<ExtractedBatch, ExtractError> {
     let _busy = telemetry::state(telemetry::State::Compute);
+    // Drain any wait time a previous occupant of this thread accumulated:
+    // from here to the return, the thread-local accumulator belongs to
+    // this batch (one extractor owns one batch start-to-finish).
+    let _ = telemetry::waits_take();
     let mut plan = ctx.fb.plan_batch(&sample.input_nodes);
     let loaded_nodes = plan.to_load.len();
 
@@ -300,13 +312,27 @@ fn extract_batch_inner(
                 .as_ref()
                 .map(|s| s.acquire(group.window_len as u64));
             buf.resize(group.window_len, 0);
-            if let Err(e) = read_with_retries(ctx, group.window_start, &mut buf) {
+            let read = {
+                // Attribution: on the sync path the whole blocking read
+                // (including retry backoff) sits on the critical path — the
+                // paper's 𝔒2 in its purest form.
+                let _wait = telemetry::wait_timer(telemetry::WaitKind::SyncRead);
+                read_with_retries(ctx, group.window_start, &mut buf)
+            };
+            if let Err(e) = read {
                 ctx.fb.abort_batch(&plan, &sample.input_nodes);
                 return Err(e.into());
             }
+            // The sync path pays each host→device copy inline; the span
+            // keeps stage coverage identical to the async path's tail.
+            let _tspan = ctx
+                .transfer
+                .as_ref()
+                .map(|_| telemetry::span("transfer", sample.batch_id));
             for &node in &group.nodes {
                 let row = row_from_window(&buf, group.window_start, node, row_bytes);
                 if let Some(engine) = &ctx.transfer {
+                    let _wait = telemetry::wait_timer(telemetry::WaitKind::TransferWait);
                     engine.pay_blocking(row_bytes);
                 }
                 slab.write_row(slot_of[&node], &row);
@@ -321,6 +347,9 @@ fn extract_batch_inner(
             sample,
             aliases: plan.aliases,
             loaded_nodes,
+            waits: telemetry::waits_take(),
+            io_queue_ns: 0,
+            io_service_ns: 0,
         });
     }
 
@@ -329,6 +358,9 @@ fn extract_batch_inner(
     let (xfer_tx, xfer_rx) = crossbeam::channel::unbounded();
     let mut pending_groups: HashMap<u64, (ReadGroup, Option<Arc<StagingLease>>)> = HashMap::new();
     let mut inflight_transfers = 0usize;
+    // Per-completion enqueue→dispatch vs dispatch→complete split, summed
+    // across this batch's reaped reads (queue wait, service time).
+    let io_split = std::cell::Cell::new((0u64, 0u64));
 
     // Completion handler for phase one: the instant a window lands, launch
     // phase two for each node it covers.
@@ -337,6 +369,8 @@ fn extract_batch_inner(
          pending: &mut HashMap<u64, (ReadGroup, Option<Arc<StagingLease>>)>,
          inflight_transfers: &mut usize|
          -> Result<(), IoError> {
+            let (q, s) = io_split.get();
+            io_split.set((q.saturating_add(c.queue_ns), s.saturating_add(c.service_ns)));
             let (group, lease) = pending.remove(&c.user_data).expect("unknown group");
             // Media errors and checksum mismatches fall back to (retried)
             // blocking reads — the standard firmware-reread recovery path —
@@ -368,7 +402,11 @@ fn extract_batch_inner(
                     // succeeds immediately.
                     telemetry::counter("core.extract.retries").inc();
                     let mut retry = vec![0u8; group.window_len];
-                    read_with_retries(ctx, group.window_start, &mut retry)?;
+                    {
+                        // The fallback re-read blocks like the sync path.
+                        let _wait = telemetry::wait_timer(telemetry::WaitKind::SyncRead);
+                        read_with_retries(ctx, group.window_start, &mut retry)?;
+                    }
                     retry
                 }
             };
@@ -511,6 +549,7 @@ fn extract_batch_inner(
         while inflight_transfers > 0 {
             let recv = {
                 let _io = telemetry::state(telemetry::State::IoWait);
+                let _wait = telemetry::wait_timer(telemetry::WaitKind::TransferWait);
                 xfer_rx.recv()
             };
             let done = match recv {
@@ -531,10 +570,14 @@ fn extract_batch_inner(
         return Err(ExtractError::DependencyAborted(node));
     }
 
+    let (io_queue_ns, io_service_ns) = io_split.get();
     Ok(ExtractedBatch {
         sample,
         aliases: plan.aliases,
         loaded_nodes,
+        waits: telemetry::waits_take(),
+        io_queue_ns,
+        io_service_ns,
     })
 }
 

@@ -234,9 +234,18 @@ impl FeatureBufferManager {
 
         // Allocation pass (lines 20–29).
         for &(i, node) in &to_load {
+            // Attribution: an empty standby list means the slot budget —
+            // i.e. available memory — is the constraint (𝔒1). Timed only
+            // while actually blocked on the releaser.
+            let mut slot_wait = None;
             let slot = loop {
                 if let Some(slot) = inner.standby.pop_front() {
                     break slot;
+                }
+                if slot_wait.is_none() {
+                    slot_wait = Some(gnndrive_telemetry::wait_timer(
+                        gnndrive_telemetry::WaitKind::SlotWait,
+                    ));
                 }
                 // Wait for the releaser to retire slots.
                 let timed_out = self
@@ -252,6 +261,7 @@ impl FeatureBufferManager {
                     );
                 }
             };
+            drop(slot_wait);
             // Delayed invalidation: evict the slot's previous owner now.
             let prev = inner.reverse[slot as usize];
             if prev != NO_SLOT {
@@ -297,6 +307,9 @@ impl FeatureBufferManager {
         if plan.wait_for.is_empty() {
             return Ok(());
         }
+        // Attribution: waiting on another extractor's in-flight load is an
+        // I/O dependency (𝔒2). Timed only once a node is actually pending.
+        let mut ready_wait = None;
         let mut inner = self.inner.lock();
         for &(i, node) in &plan.wait_for {
             loop {
@@ -307,6 +320,11 @@ impl FeatureBufferManager {
                 }
                 if e.aborted {
                     return Err(node);
+                }
+                if ready_wait.is_none() {
+                    ready_wait = Some(gnndrive_telemetry::wait_timer(
+                        gnndrive_telemetry::WaitKind::ReadyWait,
+                    ));
                 }
                 let timed_out = self
                     .data_ready

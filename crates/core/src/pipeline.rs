@@ -38,6 +38,13 @@ pub struct EpochStats {
     /// Per-batch latency distribution of each stage this epoch, in pipeline
     /// order: `sample`, `extract`, `train`, `release`.
     pub stages: Vec<(String, HistSummary)>,
+    /// Critical-path bottleneck attribution for the epoch: summed per-batch
+    /// wait/compute decomposition and the 𝔒1-vs-𝔒2 verdict (DESIGN.md §10).
+    pub attribution: telemetry::AttributionReport,
+    /// The per-batch records behind [`EpochStats::attribution`], in
+    /// training-completion order — each one carries the conservation
+    /// invariant (parts sum to the batch wall within the residual).
+    pub batch_attribution: Vec<telemetry::BatchAttribution>,
 }
 
 impl EpochStats {
@@ -82,6 +89,10 @@ pub struct Pipeline {
     /// Device-health tracker / circuit breaker shared by every extractor
     /// (and inference) against this pipeline's SSD.
     health: Arc<DeviceHealth>,
+    /// Bottleneck attribution of the most recent epoch, kept so callers
+    /// that only see the [`TrainingSystem`] trait (the CLI, harness bins)
+    /// can still fold the verdict into their run reports.
+    last_attribution: Option<telemetry::AttributionReport>,
 }
 
 /// Construction failure: either host OOM (governor) or device OOM.
@@ -205,6 +216,7 @@ impl Pipeline {
             _host_charges: host_charges,
             train_segment,
             health,
+            last_attribution: None,
         })
     }
 
@@ -384,6 +396,14 @@ impl Pipeline {
         // Per-batch sample-start stamps (nanos since t0) for the latency
         // histogram; index = batch id (absolute within the epoch plan).
         let batch_started: Vec<AtomicU64> = (0..end).map(|_| AtomicU64::new(0)).collect();
+        // Stage-boundary stamps on the same shared clock; with
+        // `batch_started` they telescope a batch's wall time into
+        // sample / queue / extract / queue / train segments for the
+        // attribution records the trainer assembles.
+        let sample_ended: Vec<AtomicU64> = (0..end).map(|_| AtomicU64::new(0)).collect();
+        let extract_started: Vec<AtomicU64> = (0..end).map(|_| AtomicU64::new(0)).collect();
+        let extract_ended: Vec<AtomicU64> = (0..end).map(|_| AtomicU64::new(0)).collect();
+        let mut attr_records: Vec<telemetry::BatchAttribution> = Vec::with_capacity(batches);
         let mut latency = gnndrive_telemetry::Histogram::new();
         let sample_nanos = AtomicU64::new(0);
         let extract_nanos = AtomicU64::new(0);
@@ -416,6 +436,7 @@ impl Pipeline {
                 let tx = extract_tx.clone();
                 let sample_nanos = &sample_nanos;
                 let batch_started = &batch_started;
+                let sample_ended = &sample_ended;
                 let h_sample = h_sample.clone();
                 let g_extract_q = g_extract_q.clone();
                 let stage_sample = &stage_sample;
@@ -437,6 +458,8 @@ impl Pipeline {
                                 sampler.sample(i as u64, plan.batch(i), seed ^ epoch)
                             };
                             let spent = t.elapsed().as_nanos() as u64;
+                            sample_ended[i]
+                                .store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                             sample_nanos.fetch_add(spent, Ordering::Relaxed);
                             h_sample.record(spent);
                             stage_sample.lock().record(spent);
@@ -466,6 +489,8 @@ impl Pipeline {
                 let g_train_q = g_train_q.clone();
                 let c_skipped = c_skipped.clone();
                 let stage_extract = &stage_extract;
+                let extract_started = &extract_started;
+                let extract_ended = &extract_ended;
                 s.builder()
                     .name(format!("extractor-{w}"))
                     .spawn(move |_| {
@@ -475,11 +500,15 @@ impl Pipeline {
                             let t = Instant::now();
                             let total = sample.input_nodes.len() as u64;
                             let batch_id = sample.batch_id;
+                            extract_started[batch_id as usize]
+                                .store(t.duration_since(t0).as_nanos() as u64, Ordering::Relaxed);
                             let span = telemetry::span("extract", batch_id);
                             match extract_batch(&ctx, sample) {
                                 Ok(batch) => {
                                     drop(span);
                                     let spent = t.elapsed().as_nanos() as u64;
+                                    extract_ended[batch_id as usize]
+                                        .store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                                     extract_nanos.fetch_add(spent, Ordering::Relaxed);
                                     h_extract.record(spent);
                                     stage_extract.lock().record(spent);
@@ -622,8 +651,33 @@ impl Pipeline {
                 h_train.record(spent.as_nanos() as u64);
                 stage_train.record(spent.as_nanos() as u64);
                 c_batches.inc();
-                let started = batch_started[batch.sample.batch_id as usize].load(Ordering::Relaxed);
-                latency.record((t0.elapsed().as_nanos() as u64).saturating_sub(started));
+                let id = batch.sample.batch_id as usize;
+                let started = batch_started[id].load(Ordering::Relaxed);
+                let train_end = t0.elapsed().as_nanos() as u64;
+                latency.record(train_end.saturating_sub(started));
+                // Assemble the batch's critical-path decomposition from the
+                // shared-clock stamps plus the waits the extractor carried
+                // over; the segments telescope, so they conserve wall time
+                // (DESIGN.md §10).
+                let train_ns = spent.as_nanos() as u64;
+                let train_start = train_end.saturating_sub(train_ns);
+                let s_end = sample_ended[id].load(Ordering::Relaxed);
+                let e_start = extract_started[id].load(Ordering::Relaxed);
+                let e_end = extract_ended[id].load(Ordering::Relaxed);
+                let rec = telemetry::BatchAttribution {
+                    batch: batch.sample.batch_id,
+                    wall_ns: train_end.saturating_sub(started),
+                    sample_ns: s_end.saturating_sub(started),
+                    queue_extract_ns: e_start.saturating_sub(s_end),
+                    extract_ns: e_end.saturating_sub(e_start),
+                    queue_train_ns: train_start.saturating_sub(e_end),
+                    train_ns,
+                    waits: batch.waits,
+                    io_queue_ns: batch.io_queue_ns,
+                    io_service_ns: batch.io_service_ns,
+                };
+                telemetry::record_batch_attribution(&rec);
+                attr_records.push(rec);
                 // ⑧ hand the original sampled node list to the releaser.
                 if release_tx
                     .send((batch.sample.batch_id, batch.sample.input_nodes))
@@ -652,6 +706,17 @@ impl Pipeline {
         let io_after = self.ds.ssd.stats().snapshot();
         let io = io_after.delta_since(&io_before);
         telemetry::counter("pipeline.epochs").inc();
+        let attribution = telemetry::aggregate_attribution(&attr_records);
+        self.last_attribution = Some(attribution.clone());
+        // Surface the epoch's verdict as a whole-epoch trace span so the
+        // Chrome timeline names the bottleneck next to the stage lanes.
+        telemetry::record_span(
+            attribution.verdict.label(),
+            "verdict",
+            epoch,
+            t0,
+            t0.elapsed(),
+        );
         let failed = failed_batches.load(Ordering::Relaxed);
         let report = EpochReport {
             wall: t0.elapsed(),
@@ -686,6 +751,8 @@ impl Pipeline {
                     HistSummary::of(&stage_release.into_inner()),
                 ),
             ],
+            attribution,
+            batch_attribution: attr_records,
         }
     }
 
@@ -724,6 +791,10 @@ impl TrainingSystem for Pipeline {
     fn train_epoch(&mut self, epoch: u64, max_batches: Option<usize>) -> EpochReport {
         self.train_epoch_with_sync(epoch, max_batches, |_| {})
             .report
+    }
+
+    fn last_attribution(&self) -> Option<telemetry::AttributionReport> {
+        self.last_attribution.clone()
     }
 
     fn sample_only_epoch(&mut self, epoch: u64, max_batches: Option<usize>) -> Duration {

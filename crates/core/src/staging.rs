@@ -57,8 +57,15 @@ impl StagingBuffer {
     pub fn acquire(self: &Arc<Self>, bytes: u64) -> StagingLease {
         let want = bytes.min(self.capacity).max(1);
         let mut avail = self.available.lock();
-        while *avail < want {
-            self.freed.wait(&mut avail);
+        if *avail < want {
+            // Attribution: a drained staging pool is memory contention
+            // (𝔒1) — the extract stage is starved by its byte bound, not
+            // by the device. Timed only when we actually block.
+            let _wait =
+                gnndrive_telemetry::wait_timer(gnndrive_telemetry::WaitKind::StagingAcquire);
+            while *avail < want {
+                self.freed.wait(&mut avail);
+            }
         }
         *avail -= want;
         StagingLease {

@@ -71,6 +71,15 @@ pub trait TrainingSystem {
 
     /// Validation accuracy of the current model state.
     fn evaluate(&mut self) -> f64;
+
+    /// Bottleneck attribution of the most recent [`train_epoch`]
+    /// (DESIGN.md §10), for systems that instrument their wait edges.
+    /// Baselines without per-batch attribution return `None`.
+    ///
+    /// [`train_epoch`]: TrainingSystem::train_epoch
+    fn last_attribution(&self) -> Option<gnndrive_telemetry::AttributionReport> {
+        None
+    }
 }
 
 /// Shared offline evaluator: forward the model over (a capped number of)

@@ -188,17 +188,20 @@ impl MemoryGovernor {
         timeout: std::time::Duration,
     ) -> Result<MemCharge, OomError> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut stalled = false;
+        let mut stalled = None;
         loop {
             match self.charge(bytes) {
                 Ok(c) => return Ok(c),
                 Err(e) => {
-                    if !stalled {
+                    if stalled.is_none() {
                         // Count admissions that had to wait (not each poll):
                         // the paper's memory-contention symptom is threads
                         // stalling at allocation, not how long the 2 ms poll
-                        // loop spins.
-                        stalled = true;
+                        // loop spins. The timer spans the whole stalled
+                        // admission and feeds the 𝔒1 attribution bucket.
+                        stalled = Some(gnndrive_telemetry::wait_timer(
+                            gnndrive_telemetry::WaitKind::MemAdmission,
+                        ));
                         gnndrive_telemetry::counter("governor.admission_stalls").inc();
                     }
                     if std::time::Instant::now() >= deadline {

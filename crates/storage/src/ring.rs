@@ -182,12 +182,16 @@ impl IoRing {
             }
             if self.submit() == 0 {
                 let _io = telemetry::state(telemetry::State::IoWait);
+                let _wait = telemetry::wait_timer(telemetry::WaitKind::RingWait);
                 std::thread::sleep(Duration::from_micros(100));
             }
         }
         let started = Instant::now();
         let completion = {
             let _io = telemetry::state(telemetry::State::IoWait);
+            // Attribution: ring-completion wait is the async path's 𝔒2
+            // signal; the guard also covers the error returns below.
+            let _wait = telemetry::wait_timer(telemetry::WaitKind::RingWait);
             // Tick so device shutdown (or the deadline) interrupts the wait
             // even when the completion will never be sent.
             loop {

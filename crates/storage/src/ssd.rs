@@ -157,6 +157,14 @@ pub struct Completion {
     pub result: Result<Vec<u8>, IoError>,
     /// Modeled request latency (submission to completion deadline).
     pub latency: Duration,
+    /// Enqueue→dispatch share of `latency`: how long the request sat in
+    /// the submission queue before a channel picked it up. Together with
+    /// `service_ns` this is the per-completion congestion/service split
+    /// the attribution layer consumes (DESIGN.md §10).
+    pub queue_ns: u64,
+    /// Dispatch→complete share: what the device model charged (base
+    /// latency, bandwidth reservation, injected fault latency).
+    pub service_ns: u64,
 }
 
 pub(crate) struct Request {
@@ -574,6 +582,8 @@ impl SimSsd {
             user_data: req.user_data,
             result: Err(IoError::DeviceClosed),
             latency: Duration::ZERO,
+            queue_ns: 0,
+            service_ns: 0,
         });
     }
 
@@ -723,6 +733,8 @@ fn channel_worker(shared: Arc<Shared>, rx: Receiver<Request>) {
                 user_data: req.user_data,
                 result: Err(IoError::DeviceClosed),
                 latency: Duration::ZERO,
+                queue_ns: 0,
+                service_ns: 0,
             });
             continue;
         }
@@ -773,6 +785,8 @@ fn channel_worker(shared: Arc<Shared>, rx: Receiver<Request>) {
             user_data: req.user_data,
             result,
             latency: deadline.saturating_duration_since(req.submitted),
+            queue_ns,
+            service_ns,
         });
     }
 }

@@ -46,6 +46,11 @@ pub struct IoStats {
     m_stalls: Counter,
     m_service: HistogramHandle,
     m_queueing: HistogramHandle,
+    // Cumulative enqueue→dispatch vs dispatch→complete split in summed
+    // nanoseconds; the attribution layer (DESIGN.md §10) divides these to
+    // tell a congested device (queue-dominated) from a slow one.
+    m_queue_wait_ns: Counter,
+    m_service_ns: Counter,
 }
 
 impl Default for IoStats {
@@ -67,6 +72,8 @@ impl Default for IoStats {
             m_stalls: telemetry::counter("ssd.queue_full_stalls"),
             m_service: telemetry::histogram_ns("ssd.service"),
             m_queueing: telemetry::histogram_ns("ssd.queue_wait"),
+            m_queue_wait_ns: telemetry::counter("storage.queue.wait_ns"),
+            m_service_ns: telemetry::counter("storage.queue.service_ns"),
         }
     }
 }
@@ -146,6 +153,8 @@ impl IoStats {
         self.queueing.lock().record(queue_ns);
         self.m_service.record(service_ns);
         self.m_queueing.record(queue_ns);
+        self.m_queue_wait_ns.add(queue_ns);
+        self.m_service_ns.add(service_ns);
     }
 
     /// Percentile summary of per-op service time.
@@ -241,5 +250,7 @@ mod tests {
             m.get("ssd.service"),
             Some(telemetry::MetricValue::Histogram(h)) if h.count >= 1
         ));
+        assert!(m.counter("storage.queue.wait_ns") >= 10_000);
+        assert!(m.counter("storage.queue.service_ns") >= 50_000);
     }
 }

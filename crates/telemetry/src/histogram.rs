@@ -145,6 +145,60 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+        // Every quantile of an empty distribution is 0, including the
+        // extremes and out-of-range inputs (percentile clamps q).
+        for q in [0.0, 0.5, 1.0, -1.0, 2.0, f64::NAN] {
+            assert_eq!(h.percentile(q), 0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn extreme_quantiles_clamp_to_min_and_max() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        // q=0.0 still targets the first recorded value, not zero.
+        assert_eq!(h.percentile(0.0), 10);
+        assert_eq!(h.percentile(1.0), 30);
+        // Out-of-range q clamps rather than panicking or indexing wild.
+        assert_eq!(h.percentile(-0.5), h.percentile(0.0));
+        assert_eq!(h.percentile(1.5), h.percentile(1.0));
+    }
+
+    #[test]
+    fn merge_into_empty_copies_the_source() {
+        let mut src = Histogram::new();
+        for v in [1_000u64, 2_000, 4_000] {
+            src.record(v);
+        }
+        let mut dst = Histogram::new();
+        dst.merge(&src);
+        assert_eq!(dst.count(), 3);
+        assert_eq!(dst.max(), src.max());
+        assert_eq!(dst.percentile(0.5), src.percentile(0.5));
+        assert!((dst.mean() - src.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_of_empty_is_a_no_op() {
+        let mut h = Histogram::new();
+        h.record(500);
+        let before = (h.count(), h.max(), h.percentile(1.0));
+        h.merge(&Histogram::new());
+        assert_eq!((h.count(), h.max(), h.percentile(1.0)), before);
+        // Empty-into-empty stays empty.
+        let mut e = Histogram::new();
+        e.merge(&Histogram::new());
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.percentile(1.0), 0);
+    }
+
+    #[test]
     fn bucket_floor_is_monotone_and_below_values() {
         let mut prev = 0;
         for v in (0..60).map(|e| 1u64 << e) {

@@ -13,6 +13,7 @@
 //! [`State::IoWait`]. Nothing here is modeled — the model lives in the
 //! storage and device crates; telemetry only observes.
 
+pub mod attribution;
 mod histogram;
 pub mod json;
 pub mod metrics;
@@ -21,6 +22,11 @@ mod registry;
 mod report;
 mod trace;
 
+pub use attribution::{
+    aggregate as aggregate_attribution, record_batch as record_batch_attribution, wait_timer,
+    waits_take, AttributionReport, BatchAttribution, BottleneckVerdict, WaitKind, WaitTimer,
+    WaitTotals,
+};
 pub use histogram::Histogram;
 pub use json::Json;
 pub use metrics::{
@@ -34,8 +40,8 @@ pub use registry::{
 };
 pub use report::{ParsedReport, RunReport};
 pub use trace::{
-    export_chrome_trace, span, span_cat, trace_disable, trace_enable, trace_enabled, trace_take,
-    SpanGuard, TraceSpan,
+    export_chrome_trace, record_span, span, span_cat, trace_disable, trace_enable, trace_enabled,
+    trace_take, SpanGuard, TraceSpan,
 };
 
 /// The kind of execution resource a thread stands in for.

@@ -11,6 +11,12 @@ use crate::metrics::{HistSummary, MetricsSnapshot};
 use crate::{Histogram, SeriesPoint};
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-process artifact sequence. Two runs writing the same report name
+/// into the same directory used to silently overwrite each other; the
+/// sequence number keeps every run's artifact distinct.
+static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// A structured record of one benchmark/training run.
 #[derive(Debug, Clone, Default)]
@@ -27,6 +33,8 @@ pub struct RunReport {
     pub series: Vec<SeriesPoint>,
     /// Free-form named scalars (wall seconds, loss, epochs...).
     pub scalars: Vec<(String, f64)>,
+    /// Free-form named string labels (e.g. `bottleneck_verdict`).
+    pub labels: Vec<(String, String)>,
 }
 
 impl RunReport {
@@ -61,6 +69,17 @@ impl RunReport {
             .map(|(_, v)| *v)
     }
 
+    pub fn add_label(&mut self, name: &str, value: &str) {
+        self.labels.push((name.to_string(), value.to_string()));
+    }
+
+    pub fn label(&self, name: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
     pub fn to_json(&self) -> Json {
         let mut stages = Json::obj();
         for (name, summary) in &self.stages {
@@ -83,13 +102,18 @@ impl RunReport {
         for (name, value) in &self.scalars {
             scalars.set(name, (*value).into());
         }
+        let mut labels = Json::obj();
+        for (name, value) in &self.labels {
+            labels.set(name, value.as_str().into());
+        }
         let mut doc = Json::obj();
         doc.set("name", self.name.as_str().into())
             .set("scenario", self.scenario.as_str().into())
             .set("metrics", self.metrics.to_json())
             .set("stages", stages)
             .set("series", series)
-            .set("scalars", scalars);
+            .set("scalars", scalars)
+            .set("labels", labels);
         doc
     }
 
@@ -136,6 +160,12 @@ impl RunReport {
                 scalars.push((name.clone(), v.as_f64().ok_or("bad scalar")?));
             }
         }
+        let mut labels = Vec::new();
+        if let Some(obj) = doc.get("labels").and_then(Json::as_object) {
+            for (name, v) in obj {
+                labels.push((name.clone(), v.as_str().ok_or("bad label")?.to_string()));
+            }
+        }
         Ok(ParsedReport {
             name,
             scenario,
@@ -143,16 +173,36 @@ impl RunReport {
             stages,
             series,
             scalars,
+            labels,
         })
     }
 
-    /// Write `<dir>/<name>.json`, creating `dir` as needed. Returns the
-    /// artifact path.
+    /// Write `<dir>/<name>.r<seq>.json`, creating `dir` as needed. The
+    /// `r<seq>` component is a monotonic run sequence so that repeated
+    /// runs of the same scenario (bench sweeps, test suites, successive
+    /// CLI invocations) land as distinct artifacts instead of silently
+    /// overwriting each other: a process-local counter supplies the
+    /// starting sequence, and `create_new` skips over artifacts earlier
+    /// processes left behind. Returns the artifact path.
     pub fn write_to_dir(&self, dir: &Path) -> io::Result<PathBuf> {
+        use std::io::Write as _;
         std::fs::create_dir_all(dir)?;
-        let path = dir.join(format!("{}.json", self.name));
-        std::fs::write(&path, self.to_json().to_json_string())?;
-        Ok(path)
+        loop {
+            let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
+            let path = dir.join(format!("{}.r{seq:03}.json", self.name));
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    f.write_all(self.to_json().to_json_string().as_bytes())?;
+                    return Ok(path);
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+                Err(e) => return Err(e),
+            }
+        }
     }
 }
 
@@ -167,9 +217,24 @@ pub struct ParsedReport {
     pub stages: Vec<(String, HistSummary)>,
     pub series: Vec<SeriesPoint>,
     pub scalars: Vec<(String, f64)>,
+    pub labels: Vec<(String, String)>,
 }
 
 impl ParsedReport {
+    pub fn scalar(&self, name: &str) -> Option<f64> {
+        self.scalars
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    pub fn label(&self, name: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
     /// Names of all metrics in the snapshot.
     pub fn metric_names(&self) -> Vec<&str> {
         self.metrics
@@ -210,6 +275,7 @@ mod tests {
             io_wait: 0.125,
         });
         r.add_scalar("wall_secs", 1.5);
+        r.add_label("bottleneck_verdict", "compute_bound");
 
         let text = r.to_json().to_json_string();
         let p = RunReport::parse(&text).unwrap();
@@ -222,6 +288,17 @@ mod tests {
         assert_eq!(p.series.len(), 1);
         assert!((p.series[0].gpu_util - 0.25).abs() < 1e-12);
         assert_eq!(p.scalars, vec![("wall_secs".to_string(), 1.5)]);
+        assert_eq!(p.scalar("wall_secs"), Some(1.5));
+        assert_eq!(p.label("bottleneck_verdict"), Some("compute_bound"));
+        assert_eq!(p.label("missing"), None);
+    }
+
+    #[test]
+    fn reports_without_labels_still_parse() {
+        // Artifacts written before the labels field existed.
+        let p = RunReport::parse(r#"{"name":"old","metrics":{}}"#).unwrap();
+        assert_eq!(p.name, "old");
+        assert!(p.labels.is_empty());
     }
 
     #[test]
@@ -234,5 +311,41 @@ mod tests {
         let p = RunReport::parse(&text).unwrap();
         assert_eq!(p.name, "unit.write");
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn repeated_runs_land_as_distinct_artifacts() {
+        let dir = std::env::temp_dir().join("gnndrive-report-seq-test");
+        let mut r = RunReport::new("unit.seq");
+        r.metrics = snapshot_metrics();
+        let first = r.write_to_dir(&dir).unwrap();
+        let second = r.write_to_dir(&dir).unwrap();
+        assert_ne!(first, second, "same-name reports must not overwrite");
+        assert!(first.exists() && second.exists());
+
+        // Artifacts left by an *earlier process* (its RUN_SEQ restarted
+        // at 0) occupy sequence slots on disk only; later writes must
+        // skip over them, never truncate them. Plant sentinels on the
+        // next few slots (a few, because parallel tests also consume
+        // sequence numbers) and check the write lands past them.
+        let next = RUN_SEQ.load(Ordering::Relaxed);
+        let planted: Vec<PathBuf> = (next..next + 4)
+            .map(|s| dir.join(format!("unit.seq.r{s:03}.json")))
+            .collect();
+        for p in &planted {
+            std::fs::write(p, "sentinel").unwrap();
+        }
+        let third = r.write_to_dir(&dir).unwrap();
+        assert!(!planted.contains(&third), "skipped the occupied slots");
+        for p in &planted {
+            assert_eq!(
+                std::fs::read_to_string(p).unwrap(),
+                "sentinel",
+                "pre-existing artifacts survive later writes"
+            );
+        }
+        for p in planted.iter().chain([&first, &second, &third]) {
+            let _ = std::fs::remove_file(p);
+        }
     }
 }

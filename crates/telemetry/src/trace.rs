@@ -114,6 +114,36 @@ pub fn span_cat(stage: &'static str, cat: &'static str, batch: u64) -> SpanGuard
     }
 }
 
+/// Record a span retroactively (e.g. an epoch-slice verdict band computed
+/// after the fact). `started` anchors the span on the same clock the RAII
+/// guards use; a no-op while tracing is disabled.
+pub fn record_span(
+    stage: &'static str,
+    cat: &'static str,
+    batch: u64,
+    started: Instant,
+    dur: std::time::Duration,
+) {
+    if !trace_enabled() {
+        return;
+    }
+    let start_ns = started
+        .saturating_duration_since(origin())
+        .as_nanos()
+        .min(u128::from(u64::MAX)) as u64;
+    let dur_ns = dur.as_nanos().min(u128::from(u64::MAX)) as u64;
+    BUFFER.with(|b| {
+        b.spans.lock().push(TraceSpan {
+            stage,
+            cat,
+            batch,
+            tid: b.tid,
+            start_ns,
+            dur_ns,
+        });
+    });
+}
+
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some((stage, cat, batch, started)) = self.active.take() else {
@@ -224,6 +254,38 @@ mod tests {
             .map(|s| s.tid)
             .collect();
         assert!(tids.len() >= 3, "expected distinct tids, got {tids:?}");
+    }
+
+    #[test]
+    fn retroactive_spans_land_in_the_buffer() {
+        let _l = TEST_LOCK.lock();
+        let _ = trace_take();
+        trace_disable();
+        record_span(
+            "balanced",
+            "verdict",
+            u64::MAX,
+            Instant::now(),
+            Duration::from_millis(1),
+        );
+        assert!(trace_take().iter().all(|s| s.cat != "verdict"));
+        trace_enable();
+        let started = Instant::now();
+        record_span(
+            "balanced",
+            "verdict",
+            u64::MAX,
+            started,
+            Duration::from_millis(7),
+        );
+        trace_disable();
+        let spans = trace_take();
+        let s = spans
+            .iter()
+            .find(|s| s.cat == "verdict")
+            .expect("verdict span recorded");
+        assert_eq!(s.stage, "balanced");
+        assert_eq!(s.dur_ns, 7_000_000);
     }
 
     #[test]

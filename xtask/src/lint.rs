@@ -704,7 +704,19 @@ fn rule_metric_name(
     lines: &[&str],
     diags: &mut Vec<Diagnostic>,
 ) {
-    const SITES: [&str; 4] = ["counter(", "gauge(", "histogram_ns(", "Scope::new("];
+    const SITES: [&str; 7] = [
+        "counter(",
+        "gauge(",
+        "histogram_ns(",
+        "Scope::new(",
+        "span(",
+        "span_cat(",
+        "record_span(",
+    ];
+    // Trace-span openers: the first literal is the stage name, and the
+    // second literal (explicit-category variants only) must come from the
+    // closed category set below.
+    const CATEGORIZED_SITES: [&str; 2] = ["span_cat(", "record_span("];
     let bytes = stripped.as_bytes();
     for site in SITES {
         for (idx, _) in stripped.match_indices(site) {
@@ -737,9 +749,86 @@ fn rule_metric_name(
                     stripped,
                     idx,
                 );
+            } else if let Some(hint) = closed_set_violation(name) {
+                push_diag(
+                    diags,
+                    "metric-name",
+                    format!("metric name \"{name}\" is not in its closed namespace set"),
+                    hint,
+                    path,
+                    lines,
+                    stripped,
+                    idx,
+                );
+            }
+            if CATEGORIZED_SITES.contains(&site) {
+                if let Some(cat) = second_string_literal(&lit[close + 1..]) {
+                    if !SPAN_CATEGORIES.contains(&cat) {
+                        push_diag(
+                            diags,
+                            "metric-name",
+                            format!("span category \"{cat}\" is not a known category"),
+                            "trace categories are a closed set (see \
+                             telemetry::span_cat and DESIGN.md §10): pipeline, \
+                             verdict — extend SPAN_CATEGORIES in xtask when \
+                             adding one",
+                            path,
+                            lines,
+                            stripped,
+                            idx,
+                        );
+                    }
+                }
             }
         }
     }
+}
+
+/// Closed trace-category set (`telemetry::span_cat` second argument).
+const SPAN_CATEGORIES: [&str; 2] = ["pipeline", "verdict"];
+
+/// Closed metric namespaces: `core.attr.*` is the bottleneck-attribution
+/// taxonomy (one histogram per `WaitKind` + the conservation residual) and
+/// `storage.queue.*` is the SimSsd queue/service split. A name under these
+/// prefixes that is not in the set is almost always a typo that would
+/// silently split a time series; add new members here and to the DESIGN.md
+/// §10 table in the same change.
+const KNOWN_ATTRIBUTION_METRICS: [&str; 8] = [
+    "core.attr.mem_admission",
+    "core.attr.staging_wait",
+    "core.attr.slot_wait",
+    "core.attr.ring_wait",
+    "core.attr.sync_read_wait",
+    "core.attr.transfer_wait",
+    "core.attr.ready_wait",
+    "core.attr.other",
+];
+const KNOWN_STORAGE_QUEUE_METRICS: [&str; 2] =
+    ["storage.queue.wait_ns", "storage.queue.service_ns"];
+
+fn closed_set_violation(name: &str) -> Option<&'static str> {
+    if name.starts_with("core.attr.") && !KNOWN_ATTRIBUTION_METRICS.contains(&name) {
+        return Some(
+            "`core.attr.*` is the closed attribution taxonomy (DESIGN.md §10); \
+             extend KNOWN_ATTRIBUTION_METRICS in xtask and WaitKind in \
+             gnndrive-telemetry together",
+        );
+    }
+    if name.starts_with("storage.queue.") && !KNOWN_STORAGE_QUEUE_METRICS.contains(&name) {
+        return Some(
+            "`storage.queue.*` is the closed SimSsd queue/service split; extend \
+             KNOWN_STORAGE_QUEUE_METRICS in xtask alongside the stats counters",
+        );
+    }
+    None
+}
+
+/// The next `"…"` literal after a comma in `rest` (the tail following the
+/// first literal's closing quote), if the very next token is one.
+fn second_string_literal(rest: &str) -> Option<&str> {
+    let rest = rest.trim_start().strip_prefix(',')?;
+    let lit = rest.trim_start().strip_prefix('"')?;
+    lit.find('"').map(|close| &lit[..close])
 }
 
 fn valid_metric_name(name: &str) -> bool {
@@ -930,7 +1019,40 @@ mod tests {
 
     #[test]
     fn metric_definition_sites_are_not_call_sites() {
-        let src = "pub fn counter(name: &str) -> Counter { todo!() }\n";
+        let src = "pub fn counter(name: &str) -> Counter { todo!() }\n\
+                   pub fn span_cat(stage: &str, cat: &str) -> SpanGuard { todo!() }\n";
+        assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn span_stage_names_follow_the_registry_scheme() {
+        let src = "fn f() { let _s = telemetry::span(\"Extract Phase\", 3); }\n";
+        assert_eq!(rules(src), vec!["metric-name"]);
+        let src = "fn f() {\n    let _s = telemetry::span(\"transfer\", 3);\n    \
+                   telemetry::record_span(\"memory_contention_bound\", \"verdict\", 0, t, d);\n}\n";
+        assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn unknown_span_categories_are_flagged() {
+        let src = "fn f() { let _s = telemetry::span_cat(\"extract\", \"gpu\", 3); }\n";
+        assert_eq!(rules(src), vec!["metric-name"]);
+        let src = "fn f() { let _s = telemetry::span_cat(\"extract\", \"pipeline\", 3); }\n";
+        assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn attribution_namespace_is_a_closed_set() {
+        // A typo'd member of a closed namespace is flagged even though it
+        // is a well-formed name.
+        let src = "fn f() { telemetry::histogram_ns(\"core.attr.slotwait\"); }\n";
+        assert_eq!(rules(src), vec!["metric-name"]);
+        let src = "fn f() { telemetry::counter(\"storage.queue.depth_ns\"); }\n";
+        assert_eq!(rules(src), vec!["metric-name"]);
+        let src = "fn f() {\n    telemetry::histogram_ns(\"core.attr.slot_wait\");\n    \
+                   telemetry::histogram_ns(\"core.attr.other\");\n    \
+                   telemetry::counter(\"storage.queue.wait_ns\");\n    \
+                   telemetry::counter(\"storage.queue.service_ns\");\n}\n";
         assert!(rules(src).is_empty());
     }
 
