@@ -41,10 +41,10 @@ fn run(
     };
     mutate(&mut cfg);
     let mut p = Pipeline::builder(ds, GpuDevice::rtx3090())
-        .model(sc.model, sc.hidden)
-        .config(cfg)
-        .governor(governor)
-        .page_cache(cache)
+        .with_model(sc.model, sc.hidden)
+        .with_config(cfg)
+        .with_governor(governor)
+        .with_page_cache(cache)
         .build()
         .map_err(|e| e.to_string())?;
     let r = p.train_epoch(0, knobs.max_batches);

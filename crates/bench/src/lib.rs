@@ -24,6 +24,7 @@
 pub mod artifacts;
 pub mod report;
 pub mod scenario;
+pub mod serving;
 pub mod trajectory;
 
 pub use artifacts::{
@@ -34,3 +35,4 @@ pub use scenario::{
     build_gnndrive_pipeline, build_system, dataset_for, env_knobs, feature_buffer_slots_for,
     worst_case_batch_nodes, EnvKnobs, Scenario, SystemKind,
 };
+pub use serving::{run_serving_mixed, ServingMixedConfig, ServingMixedReport};

@@ -1,7 +1,7 @@
 //! Experimental points and uniform system construction.
 
 use gnndrive_baselines::{Ginex, GinexConfig, MariusConfig, MariusGnn, PygPlus, PygPlusConfig};
-use gnndrive_core::{GnnDriveConfig, Pipeline, TrainingSystem};
+use gnndrive_core::{GnnDriveConfig, Pipeline, StackConfig, TrainingSystem};
 use gnndrive_device::GpuDevice;
 use gnndrive_graph::{catalog::scaled_memory_budget, Dataset, MiniDataset};
 use gnndrive_nn::ModelKind;
@@ -101,6 +101,18 @@ impl Scenario {
         let base = scaled_memory_budget(self.memory_gb) as f64;
         // Feature bytes scale with dim relative to the analog's default.
         (base * self.scale) as u64
+    }
+
+    /// The shared storage-stack knobs of this experimental point, in the
+    /// form both the pipeline builder ([`PipelineBuilder::with_stack`]
+    /// [`gnndrive_core::PipelineBuilder::with_stack`]) and the serving
+    /// tier's `ServeConfig` consume — one struct, so a trainer and a
+    /// server co-located on this scenario cannot drift apart on them.
+    pub fn stack(&self) -> StackConfig {
+        StackConfig::default()
+            .with_memory_budget(self.budget_bytes())
+            .with_fanouts(self.fanouts.clone())
+            .with_batch_size(self.batch_size)
     }
 
     fn dataset_key(&self) -> DatasetKey {
@@ -267,7 +279,8 @@ pub fn build_gnndrive_pipeline(
     ds: &Arc<Dataset>,
     gpu: bool,
 ) -> Result<Pipeline, String> {
-    let governor = MemoryGovernor::new(sc.budget_bytes());
+    let stack = sc.stack();
+    let governor = stack.governor();
     let cache = PageCache::new(Arc::clone(&ds.ssd), Arc::clone(&governor));
     let seed = 0x5EED ^ sc.dataset.spec().seed;
     let device = if gpu {
@@ -293,18 +306,20 @@ pub fn build_gnndrive_pipeline(
         num_extractors: extractors,
         feature_buffer_slots: slots,
         staging_bytes_per_extractor: staging,
-        fanouts: sc.fanouts.clone(),
-        batch_size: sc.batch_size,
         seed,
         sync_extract: sc.sync_extract,
         ..Default::default()
     };
+    // `with_stack` overlays the shared knobs (fanouts, batch size, budget)
+    // from the scenario's StackConfig; the explicit governor keeps the
+    // page cache and the pipeline on the same instance.
     Pipeline::builder(Arc::clone(ds), device)
-        .model(sc.model, sc.hidden)
-        .config(cfg)
-        .gpu_mode(gpu)
-        .governor(governor)
-        .page_cache(cache)
+        .with_model(sc.model, sc.hidden)
+        .with_config(cfg)
+        .with_stack(&stack)
+        .with_gpu_mode(gpu)
+        .with_governor(governor)
+        .with_page_cache(cache)
         .build()
         .map_err(|e| e.to_string())
 }
@@ -342,11 +357,11 @@ pub fn build_gnndrive_workers(
             ..Default::default()
         };
         let p = Pipeline::builder(Arc::clone(ds), device)
-            .model(sc.model, sc.hidden)
-            .config(cfg)
-            .gpu_mode(gpu)
-            .governor(Arc::clone(&governor))
-            .page_cache(Arc::clone(&cache))
+            .with_model(sc.model, sc.hidden)
+            .with_config(cfg)
+            .with_gpu_mode(gpu)
+            .with_governor(Arc::clone(&governor))
+            .with_page_cache(Arc::clone(&cache))
             .build()
             .map_err(|e| e.to_string())?;
         out.push(p);

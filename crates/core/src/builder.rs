@@ -21,12 +21,12 @@
 //!     SimSsd::new(SsdProfile::instant()),
 //! ));
 //! let pipeline = Pipeline::builder(ds, GpuDevice::rtx3090())
-//!     .model(gnndrive_nn::ModelKind::GraphSage, 8)
+//!     .with_model(gnndrive_nn::ModelKind::GraphSage, 8)
 //!     .build()
 //!     .unwrap();
 //! ```
 
-use crate::config::GnnDriveConfig;
+use crate::config::{GnnDriveConfig, StackConfig};
 use crate::error::Error;
 use crate::pipeline::Pipeline;
 use gnndrive_device::GpuDevice;
@@ -66,40 +66,141 @@ impl PipelineBuilder {
     }
 
     /// Model architecture and hidden width.
-    pub fn model(mut self, kind: ModelKind, hidden: usize) -> Self {
+    pub fn with_model(mut self, kind: ModelKind, hidden: usize) -> Self {
         self.model_kind = kind;
         self.hidden = hidden;
         self
     }
 
     /// Pipeline tunables (queue shapes, fanouts, I/O mode, retry policy …).
-    pub fn config(mut self, cfg: GnnDriveConfig) -> Self {
+    pub fn with_config(mut self, cfg: GnnDriveConfig) -> Self {
         self.cfg = cfg;
         self
     }
 
     /// GPU-based (`true`, default) or the paper's CPU-based architecture.
-    pub fn gpu_mode(mut self, gpu: bool) -> Self {
+    pub fn with_gpu_mode(mut self, gpu: bool) -> Self {
         self.gpu_mode = gpu;
         self
     }
 
     /// Host memory governor charged for resident metadata, staging, and
     /// (in CPU mode) the feature buffer. Default: unlimited.
-    pub fn governor(mut self, governor: Arc<MemoryGovernor>) -> Self {
+    pub fn with_governor(mut self, governor: Arc<MemoryGovernor>) -> Self {
         self.governor = Some(governor);
         self
     }
 
     /// Page cache backing topology (index-array) reads. Default: a fresh
     /// cache over the dataset's SSD under the builder's governor.
-    pub fn page_cache(mut self, cache: Arc<PageCache>) -> Self {
+    pub fn with_page_cache(mut self, cache: Arc<PageCache>) -> Self {
         self.page_cache = Some(cache);
         self
+    }
+
+    /// Apply a shared [`StackConfig`]: overlay its fanouts/batch-size/
+    /// I/O-mode/retry/health knobs onto the builder's config and install
+    /// the governor its memory budget describes. Call *after*
+    /// [`with_config`](Self::with_config) — the overlay wins for the
+    /// shared fields — and before consumer-specific overrides.
+    pub fn with_stack(mut self, stack: &StackConfig) -> Self {
+        self.cfg = stack.apply_to(self.cfg);
+        self.governor = Some(stack.governor());
+        self
+    }
+
+    /// Deprecated alias of [`with_model`](Self::with_model).
+    #[deprecated(since = "0.1.0", note = "renamed to `with_model`")]
+    pub fn model(self, kind: ModelKind, hidden: usize) -> Self {
+        self.with_model(kind, hidden)
+    }
+
+    /// Deprecated alias of [`with_config`](Self::with_config).
+    #[deprecated(since = "0.1.0", note = "renamed to `with_config`")]
+    pub fn config(self, cfg: GnnDriveConfig) -> Self {
+        self.with_config(cfg)
+    }
+
+    /// Deprecated alias of [`with_gpu_mode`](Self::with_gpu_mode).
+    #[deprecated(since = "0.1.0", note = "renamed to `with_gpu_mode`")]
+    pub fn gpu_mode(self, gpu: bool) -> Self {
+        self.with_gpu_mode(gpu)
+    }
+
+    /// Deprecated alias of [`with_governor`](Self::with_governor).
+    #[deprecated(since = "0.1.0", note = "renamed to `with_governor`")]
+    pub fn governor(self, governor: Arc<MemoryGovernor>) -> Self {
+        self.with_governor(governor)
+    }
+
+    /// Deprecated alias of [`with_page_cache`](Self::with_page_cache).
+    #[deprecated(since = "0.1.0", note = "renamed to `with_page_cache`")]
+    pub fn page_cache(self, cache: Arc<PageCache>) -> Self {
+        self.with_page_cache(cache)
     }
 
     /// Wire the pipeline, charging host and device memory.
     pub fn build(self) -> Result<Pipeline, Error> {
         Pipeline::from_builder(self).map_err(Error::Build)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnndrive_graph::DatasetSpec;
+    use gnndrive_storage::{SimSsd, SsdProfile};
+
+    fn dataset() -> Arc<Dataset> {
+        Arc::new(Dataset::build(
+            DatasetSpec {
+                name: "builder-test".into(),
+                num_nodes: 200,
+                num_edges: 1000,
+                feat_dim: 8,
+                num_classes: 3,
+                intra_prob: 0.8,
+                feature_signal: 1.0,
+                train_fraction: 0.3,
+                seed: 5,
+            },
+            SimSsd::new(SsdProfile::instant()),
+        ))
+    }
+
+    /// The pre-rename builder spelling must keep compiling (and behaving)
+    /// for one deprecation cycle.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_aliases_still_build_a_pipeline() {
+        let ds = dataset();
+        let governor = MemoryGovernor::unlimited();
+        let cache = PageCache::new(Arc::clone(&ds.ssd), Arc::clone(&governor));
+        let p = Pipeline::builder(ds, GpuDevice::rtx3090())
+            .model(ModelKind::GraphSage, 8)
+            .config(GnnDriveConfig {
+                fanouts: vec![2, 2],
+                batch_size: 16,
+                feature_buffer_slots: 2048,
+                ..Default::default()
+            })
+            .gpu_mode(true)
+            .governor(governor)
+            .page_cache(cache)
+            .build();
+        assert!(p.is_ok(), "deprecated spelling broke: {:?}", p.err());
+    }
+
+    #[test]
+    fn with_stack_overlays_shared_knobs_and_governor() {
+        let stack = StackConfig::default()
+            .with_memory_budget(64 << 20)
+            .with_fanouts(vec![2, 2])
+            .with_batch_size(16);
+        let b = Pipeline::builder(dataset(), GpuDevice::rtx3090()).with_stack(&stack);
+        assert_eq!(b.cfg.fanouts, vec![2, 2]);
+        assert_eq!(b.cfg.batch_size, 16);
+        let gov = b.governor.as_ref().expect("stack installs a governor");
+        assert_eq!(gov.budget(), 64 << 20);
     }
 }

@@ -1,6 +1,7 @@
 //! GNNDrive configuration.
 
-use gnndrive_storage::{HealthConfig, RetryPolicy};
+use gnndrive_storage::{HealthConfig, MemoryGovernor, RetryPolicy};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Tunables of a GNNDrive pipeline. Defaults follow the paper's evaluation
@@ -123,6 +124,102 @@ impl GnnDriveConfig {
     }
 }
 
+/// The knobs every consumer of the storage stack shares — training
+/// pipelines ([`PipelineBuilder`](crate::PipelineBuilder)), bench
+/// scenarios, and the serving tier all sit on the same governor-metered,
+/// health-managed device, so they configure it through one struct instead
+/// of three drifting copies.
+///
+/// A `StackConfig` is *folded into* the consumer-specific config:
+/// [`StackConfig::apply_to`] overlays the shared fields onto a
+/// [`GnnDriveConfig`], and [`StackConfig::governor`] builds the memory
+/// governor the budget describes.
+#[derive(Debug, Clone)]
+pub struct StackConfig {
+    /// Host-memory budget in bytes; `None` means unlimited.
+    pub memory_budget: Option<u64>,
+    /// Per-layer sampling fanouts shared by training and serving.
+    pub fanouts: Vec<usize>,
+    /// Seeds per training mini-batch (serving coalesces its own batches).
+    pub batch_size: usize,
+    /// Direct I/O for feature loads (the paper's default).
+    pub direct_io: bool,
+    /// Fault-recovery policy for storage reads.
+    pub retry: RetryPolicy,
+    /// Device-health circuit-breaker configuration.
+    pub health: HealthConfig,
+}
+
+impl Default for StackConfig {
+    fn default() -> Self {
+        let base = GnnDriveConfig::default();
+        StackConfig {
+            memory_budget: None,
+            fanouts: base.fanouts,
+            batch_size: base.batch_size,
+            direct_io: base.direct_io,
+            retry: base.retry,
+            health: base.health,
+        }
+    }
+}
+
+impl StackConfig {
+    /// Host-memory budget in bytes (`None` = unlimited).
+    pub fn with_memory_budget(mut self, bytes: impl Into<Option<u64>>) -> Self {
+        self.memory_budget = bytes.into();
+        self
+    }
+
+    /// Per-layer sampling fanouts.
+    pub fn with_fanouts(mut self, fanouts: Vec<usize>) -> Self {
+        self.fanouts = fanouts;
+        self
+    }
+
+    /// Seeds per training mini-batch.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Direct (`true`) or buffered (`false`) feature I/O.
+    pub fn with_direct_io(mut self, direct: bool) -> Self {
+        self.direct_io = direct;
+        self
+    }
+
+    /// Storage-read retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Device-health management configuration.
+    pub fn with_health(mut self, health: HealthConfig) -> Self {
+        self.health = health;
+        self
+    }
+
+    /// Overlay the shared knobs onto a pipeline config.
+    pub fn apply_to(&self, mut cfg: GnnDriveConfig) -> GnnDriveConfig {
+        cfg.fanouts = self.fanouts.clone();
+        cfg.batch_size = self.batch_size;
+        cfg.direct_io = self.direct_io;
+        cfg.retry = self.retry;
+        cfg.health = self.health.clone();
+        cfg
+    }
+
+    /// Build the memory governor the budget describes.
+    pub fn governor(&self) -> Arc<MemoryGovernor> {
+        match self.memory_budget {
+            Some(bytes) => MemoryGovernor::new(bytes),
+            None => MemoryGovernor::unlimited(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +252,24 @@ mod tests {
         let floor = GnnDriveConfig::default().auto_tune(32 << 20, 0, 8 << 20);
         assert_eq!(floor.num_extractors, 1);
         assert!(floor.staging_bytes() >= 64 * 1024);
+    }
+
+    #[test]
+    fn stack_config_overlays_shared_knobs() {
+        let stack = StackConfig::default()
+            .with_memory_budget(64 << 20)
+            .with_fanouts(vec![5, 5])
+            .with_batch_size(50)
+            .with_direct_io(false)
+            .with_health(HealthConfig::enabled());
+        let cfg = stack.apply_to(GnnDriveConfig::default());
+        assert_eq!(cfg.fanouts, vec![5, 5]);
+        assert_eq!(cfg.batch_size, 50);
+        assert!(!cfg.direct_io);
+        assert_eq!(stack.governor().budget(), 64 << 20);
+        // No budget → an effectively unlimited governor.
+        let unlimited = StackConfig::default().governor();
+        assert!(unlimited.budget() >= u64::MAX / 2);
     }
 
     #[test]

@@ -26,7 +26,8 @@ use gnndrive_device::{FeatureSlab, TransferEngine};
 use gnndrive_graph::NodeId;
 use gnndrive_sampling::MiniBatchSample;
 use gnndrive_storage::{
-    Admission, DeviceHealth, FileHandle, IoError, IoRing, RetryPolicy, SimSsd, SECTOR_SIZE,
+    Admission, DeviceHealth, FileHandle, IoError, IoPriority, IoRing, RetryPolicy, SimSsd,
+    SECTOR_SIZE,
 };
 use gnndrive_telemetry as telemetry;
 use std::collections::HashMap;
@@ -61,6 +62,11 @@ pub struct ExtractorContext {
     /// into the epoch's skip machinery, with one half-open probe per
     /// cooldown allowed through to test the device.
     pub health: Arc<DeviceHealth>,
+    /// Which [`SimSsd`] submission lane this context's reads ride:
+    /// training extraction uses [`IoPriority::Bulk`]; online inference
+    /// uses [`IoPriority::Serve`], which device workers drain first so
+    /// latency-sensitive reads are not stuck behind a deep training queue.
+    pub io_priority: IoPriority,
 }
 
 /// Why an extraction failed.
@@ -209,7 +215,7 @@ fn read_with_retries(ctx: &ExtractorContext, offset: u64, buf: &mut [u8]) -> Res
         |_| {
             let out = ctx
                 .ssd
-                .read_blocking(ctx.features_file, offset, buf, direct)
+                .read_blocking_prio(ctx.features_file, offset, buf, direct, ctx.io_priority)
                 .and_then(|()| {
                     ctx.ssd
                         .verify(ctx.features_file, offset, buf)
@@ -354,7 +360,12 @@ fn extract_batch_inner(
     }
 
     let ring_direct = ctx.direct_io || ctx.gpu_direct;
-    let mut ring = IoRing::new(Arc::clone(&ctx.ssd), ctx.ring_depth.max(1), ring_direct);
+    let mut ring = IoRing::with_priority(
+        Arc::clone(&ctx.ssd),
+        ctx.ring_depth.max(1),
+        ring_direct,
+        ctx.io_priority,
+    );
     let (xfer_tx, xfer_rx) = crossbeam::channel::unbounded();
     let mut pending_groups: HashMap<u64, (ReadGroup, Option<Arc<StagingLease>>)> = HashMap::new();
     let mut inflight_transfers = 0usize;
@@ -634,6 +645,7 @@ mod tests {
             max_joint_read_bytes: 8192,
             retry: RetryPolicy::default(),
             health: Arc::new(DeviceHealth::new(HealthConfig::default())),
+            io_priority: IoPriority::Bulk,
         }
     }
 

@@ -48,10 +48,10 @@
 //!     ..Default::default()
 //! };
 //! let mut pipeline = Pipeline::builder(ds, GpuDevice::rtx3090())
-//!     .model(ModelKind::GraphSage, 8)
-//!     .config(cfg)
-//!     .governor(gov)
-//!     .page_cache(cache)
+//!     .with_model(ModelKind::GraphSage, 8)
+//!     .with_config(cfg)
+//!     .with_governor(gov)
+//!     .with_page_cache(cache)
 //!     .build()
 //!     .unwrap();
 //! let report = pipeline.train_epoch(0, Some(2));
@@ -72,11 +72,11 @@ pub mod system;
 
 pub use builder::PipelineBuilder;
 pub use checkpoint::{CheckpointError, TrainCheckpoint};
-pub use config::GnnDriveConfig;
+pub use config::{GnnDriveConfig, StackConfig};
 pub use error::Error;
 pub use extractor::{extract_batch, ExtractError, ExtractedBatch};
 pub use feature_buffer::{ExtractPlan, FeatureBufferManager};
 pub use parallel::{run_data_parallel, ParallelConfig, ParallelReport, SegmentError};
-pub use pipeline::{BuildError, EpochStats, Pipeline};
+pub use pipeline::{BuildError, EpochStats, InferenceOutcome, Pipeline};
 pub use staging::StagingBuffer;
 pub use system::{evaluate_model, EpochReport, TrainingSystem};

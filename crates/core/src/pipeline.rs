@@ -21,7 +21,7 @@ use gnndrive_device::{DeviceAlloc, FeatureSlab, GpuDevice};
 use gnndrive_graph::{Dataset, NodeId};
 use gnndrive_nn::{build_model, GnnModel};
 use gnndrive_sampling::{BatchPlan, MiniBatchSample, MmapTopo, NeighborSampler, TopoReader};
-use gnndrive_storage::{DeviceHealth, MemCharge, MemoryGovernor, OomError, PageCache};
+use gnndrive_storage::{DeviceHealth, IoPriority, MemCharge, MemoryGovernor, OomError, PageCache};
 use gnndrive_sync::{LockRank, OrderedMutex};
 use gnndrive_telemetry::{self as telemetry, HistSummary, State, ThreadClass};
 use gnndrive_tensor::{Adam, Matrix, Optimizer};
@@ -52,6 +52,24 @@ impl EpochStats {
     pub fn stage(&self, stage: &str) -> Option<&HistSummary> {
         self.stages.iter().find(|(n, _)| n == stage).map(|(_, s)| s)
     }
+}
+
+/// What one inference batch did and where its time went — the measurements
+/// behind [`Pipeline::try_infer_detailed`], consumed by the serving tier's
+/// per-request accounting.
+#[derive(Debug, Clone, Default)]
+pub struct InferenceOutcome {
+    /// Predicted class per seed, in seed order.
+    pub predictions: Vec<usize>,
+    /// Distinct input nodes the neighborhood sample pulled in.
+    pub sampled_nodes: usize,
+    /// How many of those were actually loaded from SSD (the rest were
+    /// feature-buffer hits).
+    pub loaded_nodes: usize,
+    /// Wall time of the extract phase (sampling + feature loads), in ns.
+    pub extract_ns: u64,
+    /// Wall time of the model forward pass, in ns.
+    pub forward_ns: u64,
 }
 
 /// Whether the feature buffer lives on the device or in host memory.
@@ -250,20 +268,11 @@ impl Pipeline {
         &mut self.model
     }
 
-    /// Disk-path inference: sample `seeds`' neighborhoods, extract their
-    /// features through the asynchronous machinery (exactly like training,
-    /// including buffer reuse), and return the predicted class per seed.
-    ///
-    /// This is the deployment-shaped API a downstream user of the library
-    /// calls after training; it exercises the same extract path the paper
-    /// optimizes, so inference inherits the same I/O behaviour.
-    pub fn infer(&mut self, seeds: &[NodeId]) -> Vec<usize> {
-        if seeds.is_empty() {
-            return Vec::new();
-        }
-        let sampler = NeighborSampler::new(Arc::clone(&self.topo), self.cfg.fanouts.clone());
-        let sample = sampler.sample(u64::MAX, seeds, self.cfg.seed ^ 0x17FE);
-        let ctx = ExtractorContext {
+    /// The extraction context every read path of this pipeline shares;
+    /// `io_priority` picks the device submission lane (training = Bulk,
+    /// online inference = Serve).
+    fn extractor_context(&self, io_priority: IoPriority) -> ExtractorContext {
+        ExtractorContext {
             ssd: Arc::clone(&self.ds.ssd),
             features_file: self.ds.features_file,
             feat_dim: self.ds.spec.feat_dim,
@@ -281,13 +290,57 @@ impl Pipeline {
             max_joint_read_bytes: self.cfg.max_joint_read_bytes,
             retry: self.cfg.retry,
             health: Arc::clone(&self.health),
-        };
-        let batch = extract_batch(&ctx, sample).expect("inference extraction");
+            io_priority,
+        }
+    }
+
+    /// Disk-path inference: sample `seeds`' neighborhoods, extract their
+    /// features through the asynchronous machinery (exactly like training,
+    /// including buffer reuse), and return the predicted class per seed.
+    ///
+    /// This is the deployment-shaped API a downstream user of the library
+    /// calls after training; it exercises the same extract path the paper
+    /// optimizes, so inference inherits the same I/O behaviour — except
+    /// that its reads ride the device's *serve* lane, which jumps ahead of
+    /// queued bulk training reads.
+    ///
+    /// Panics if extraction fails past all recovery; the serving tier uses
+    /// [`Pipeline::try_infer`] to get the failure as a typed error instead.
+    pub fn infer(&mut self, seeds: &[NodeId]) -> Vec<usize> {
+        self.try_infer(seeds).expect("inference extraction")
+    }
+
+    /// Fallible [`Pipeline::infer`]: extraction failures (device faults
+    /// past the retry budget, an open circuit breaker, aborted
+    /// dependencies) surface as [`Error`] instead of panicking.
+    pub fn try_infer(&mut self, seeds: &[NodeId]) -> Result<Vec<usize>, Error> {
+        self.try_infer_detailed(seeds).map(|o| o.predictions)
+    }
+
+    /// [`Pipeline::try_infer`] plus the measurements a serving tier needs:
+    /// how much work the batch did and where its wall time went.
+    pub fn try_infer_detailed(&mut self, seeds: &[NodeId]) -> Result<InferenceOutcome, Error> {
+        if seeds.is_empty() {
+            return Ok(InferenceOutcome::default());
+        }
+        let sampler = NeighborSampler::new(Arc::clone(&self.topo), self.cfg.fanouts.clone());
+        let sample = sampler.sample(u64::MAX, seeds, self.cfg.seed ^ 0x17FE);
+        let ctx = self.extractor_context(IoPriority::Serve);
+        let t_extract = Instant::now();
+        let batch = extract_batch(&ctx, sample)?;
+        let extract_ns = t_extract.elapsed().as_nanos() as u64;
+        let t_forward = Instant::now();
         let (_r, _c, data) = self.fb.slab().gather(&batch.aliases);
         let input = Matrix::from_vec(batch.aliases.len(), self.ds.spec.feat_dim, data);
         let logits = self.model.forward(&batch.sample.blocks, &input);
         self.fb.release(&batch.sample.input_nodes);
-        gnndrive_tensor::ops::argmax_rows(&logits)
+        Ok(InferenceOutcome {
+            predictions: gnndrive_tensor::ops::argmax_rows(&logits),
+            sampled_nodes: batch.sample.input_nodes.len(),
+            loaded_nodes: batch.loaded_nodes,
+            extract_ns,
+            forward_ns: t_forward.elapsed().as_nanos() as u64,
+        })
     }
 
     /// Run one epoch with an optional per-step hook invoked after each
@@ -348,25 +401,7 @@ impl Pipeline {
             Arc::clone(&self.topo),
             self.cfg.fanouts.clone(),
         ));
-        let ctx = Arc::new(ExtractorContext {
-            ssd: Arc::clone(&self.ds.ssd),
-            features_file: self.ds.features_file,
-            feat_dim: self.ds.spec.feat_dim,
-            fb: Arc::clone(&self.fb),
-            staging: self.staging.clone(),
-            transfer: if self.gpu_mode && !self.cfg.gpu_direct {
-                Some(Arc::clone(&self.device.transfer))
-            } else {
-                None
-            },
-            direct_io: self.cfg.direct_io,
-            gpu_direct: self.cfg.gpu_direct,
-            sync_extract: self.cfg.sync_extract,
-            ring_depth: self.cfg.ring_depth,
-            max_joint_read_bytes: self.cfg.max_joint_read_bytes,
-            retry: self.cfg.retry,
-            health: Arc::clone(&self.health),
-        });
+        let ctx = Arc::new(self.extractor_context(IoPriority::Bulk));
 
         let (extract_tx, extract_rx) =
             crossbeam::channel::bounded::<MiniBatchSample>(self.cfg.extract_queue_cap);

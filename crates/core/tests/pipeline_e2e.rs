@@ -47,11 +47,11 @@ fn build(gpu: bool, dim: usize, cfg: GnnDriveConfig) -> Pipeline {
         GpuDevice::cpu()
     };
     Pipeline::builder(ds, device)
-        .model(ModelKind::GraphSage, 16)
-        .config(cfg)
-        .gpu_mode(gpu)
-        .governor(gov)
-        .page_cache(cache)
+        .with_model(ModelKind::GraphSage, 16)
+        .with_config(cfg)
+        .with_gpu_mode(gpu)
+        .with_governor(gov)
+        .with_page_cache(cache)
         .build()
         .expect("build")
 }
@@ -159,10 +159,10 @@ fn device_oom_is_reported_at_build() {
         ..config()
     };
     let err = Pipeline::builder(ds, device)
-        .model(ModelKind::GraphSage, 16)
-        .config(cfg)
-        .governor(gov)
-        .page_cache(cache)
+        .with_model(ModelKind::GraphSage, 16)
+        .with_config(cfg)
+        .with_governor(gov)
+        .with_page_cache(cache)
         .build()
         .err()
         .expect("should OOM");
@@ -179,11 +179,11 @@ fn host_oom_is_reported_at_build_for_cpu_mode() {
     let cache = PageCache::new(Arc::clone(&ds.ssd), Arc::clone(&gov));
     let device = GpuDevice::cpu();
     let err = Pipeline::builder(ds, device)
-        .model(ModelKind::GraphSage, 16)
-        .config(config())
-        .gpu_mode(false)
-        .governor(gov)
-        .page_cache(cache)
+        .with_model(ModelKind::GraphSage, 16)
+        .with_config(config())
+        .with_gpu_mode(false)
+        .with_governor(gov)
+        .with_page_cache(cache)
         .build()
         .err()
         .expect("should OOM");
@@ -202,10 +202,10 @@ fn transient_read_faults_are_retried_transparently() {
     let gov = MemoryGovernor::unlimited();
     let cache = PageCache::new(Arc::clone(&ds.ssd), Arc::clone(&gov));
     let mut p2 = Pipeline::builder(Arc::clone(&ds), GpuDevice::rtx3090())
-        .model(ModelKind::GraphSage, 16)
-        .config(config())
-        .governor(gov)
-        .page_cache(cache)
+        .with_model(ModelKind::GraphSage, 16)
+        .with_config(config())
+        .with_governor(gov)
+        .with_page_cache(cache)
         .build()
         .unwrap();
     ds.ssd.inject_read_faults_on(ds.features_file, 5);
@@ -228,10 +228,10 @@ fn persistent_read_faults_surface_as_epoch_errors_not_panics() {
     let gov = MemoryGovernor::unlimited();
     let cache = PageCache::new(Arc::clone(&ds.ssd), Arc::clone(&gov));
     let mut p = Pipeline::builder(Arc::clone(&ds), GpuDevice::rtx3090())
-        .model(ModelKind::GraphSage, 16)
-        .config(config())
-        .governor(gov)
-        .page_cache(cache)
+        .with_model(ModelKind::GraphSage, 16)
+        .with_config(config())
+        .with_governor(gov)
+        .with_page_cache(cache)
         .build()
         .unwrap();
     ds.ssd.inject_read_faults_on(ds.features_file, 1);

@@ -70,7 +70,7 @@ pub mod stats;
 
 pub use error::{IoError, OomError};
 pub use fault::{FaultInjector, FaultPlan, FaultVerdict, SilentCorruption};
-pub use governor::{ChargeKind, MemCharge, MemoryGovernor, MemoryReclaimer};
+pub use governor::{ChargeKind, Lane, MemCharge, MemoryGovernor, MemoryReclaimer};
 pub use health::{Admission, DeviceHealth, HealthConfig, HealthState};
 pub use integrity::{crc32, IntegrityError};
 pub use lru::LruList;
@@ -78,5 +78,7 @@ pub use pagecache::{MmapArray, PageCache, PageCacheStats, Pod, PAGE_SIZE};
 pub use retry::RetryPolicy;
 pub use ring::IoRing;
 pub use scrub::{ScrubConfig, Scrubber};
-pub use ssd::{Completion, FileHandle, IoOp, ScrubChunk, SimSsd, SsdProfile, SECTOR_SIZE};
+pub use ssd::{
+    Completion, FileHandle, IoOp, IoPriority, ScrubChunk, SimSsd, SsdProfile, SECTOR_SIZE,
+};
 pub use stats::{IoStats, IoStatsSnapshot};

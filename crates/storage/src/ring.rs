@@ -16,7 +16,7 @@
 //! in `gnndrive-core` owns one per mini-batch extraction.
 
 use crate::error::IoError;
-use crate::ssd::{Completion, FileHandle, IoOp, Request, SimSsd, SubmitOutcome};
+use crate::ssd::{Completion, FileHandle, IoOp, IoPriority, Request, SimSsd, SubmitOutcome};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use gnndrive_telemetry as telemetry;
 use std::collections::VecDeque;
@@ -33,6 +33,8 @@ pub struct IoRing {
     inflight: usize,
     /// Whether prepared requests must obey direct-I/O sector alignment.
     direct: bool,
+    /// QoS lane every request prepared on this ring is stamped with.
+    prio: IoPriority,
 }
 
 impl IoRing {
@@ -41,8 +43,21 @@ impl IoRing {
     /// `direct` selects the direct-I/O mode the paper uses for feature
     /// extraction: requests must be sector-aligned and bypass the page
     /// cache (the ring never touches the cache either way; buffered I/O
-    /// goes through [`crate::PageCache`]).
+    /// goes through [`crate::PageCache`]). Requests submit on the
+    /// [`IoPriority::Bulk`] lane; serving paths use
+    /// [`IoRing::with_priority`].
     pub fn new(device: Arc<SimSsd>, sq_capacity: usize, direct: bool) -> Self {
+        Self::with_priority(device, sq_capacity, direct, IoPriority::Bulk)
+    }
+
+    /// [`IoRing::new`] on an explicit QoS lane: every request prepared on
+    /// this ring submits with `prio` (DESIGN.md §11).
+    pub fn with_priority(
+        device: Arc<SimSsd>,
+        sq_capacity: usize,
+        direct: bool,
+        prio: IoPriority,
+    ) -> Self {
         let (cq_tx, cq_rx) = unbounded();
         IoRing {
             device,
@@ -52,6 +67,7 @@ impl IoRing {
             sq_capacity,
             inflight: 0,
             direct,
+            prio,
         }
     }
 
@@ -109,6 +125,7 @@ impl IoRing {
             user_data,
             reply: self.cq_tx.clone(),
             submitted: Instant::now(),
+            prio: self.prio,
         });
         Ok(())
     }

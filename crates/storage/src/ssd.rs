@@ -146,6 +146,22 @@ pub enum IoOp {
     Write,
 }
 
+/// QoS lane of a submitted request (DESIGN.md §11).
+///
+/// The device keeps one submission queue per lane and its channel workers
+/// always drain the [`IoPriority::Serve`] queue first, so latency-critical
+/// online-inference reads jump ahead of bulk training reads that are
+/// already queued (but never preempt a request in service). Everything
+/// that predates the serving tier submits [`IoPriority::Bulk`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoPriority {
+    /// Latency-critical serving reads; drained ahead of the bulk lane.
+    Serve,
+    /// Throughput-oriented training / maintenance traffic.
+    #[default]
+    Bulk,
+}
+
 /// A completed request, delivered on the submitter's completion channel.
 #[derive(Debug)]
 pub struct Completion {
@@ -175,6 +191,7 @@ pub(crate) struct Request {
     pub user_data: u64,
     pub reply: Sender<Completion>,
     pub submitted: Instant,
+    pub prio: IoPriority,
 }
 
 struct FileMeta {
@@ -272,9 +289,25 @@ struct Shared {
     closed: AtomicBool,
 }
 
+/// The two per-lane submission queues' sender halves, dropped together at
+/// shutdown so workers drain both and exit.
+struct LaneSenders {
+    serve: Sender<Request>,
+    bulk: Sender<Request>,
+}
+
+impl LaneSenders {
+    fn lane(&self, prio: IoPriority) -> &Sender<Request> {
+        match prio {
+            IoPriority::Serve => &self.serve,
+            IoPriority::Bulk => &self.bulk,
+        }
+    }
+}
+
 /// The simulated SSD. See module docs for the timing model.
 pub struct SimSsd {
-    tx: OrderedMutex<Option<Sender<Request>>>,
+    tx: OrderedMutex<Option<LaneSenders>>,
     shared: Arc<Shared>,
     workers: OrderedMutex<Vec<JoinHandle<()>>>,
 }
@@ -292,7 +325,10 @@ pub(crate) enum SubmitOutcome {
 impl SimSsd {
     /// Bring up a device with the given profile.
     pub fn new(profile: SsdProfile) -> Arc<Self> {
-        let (tx, rx) = bounded::<Request>(profile.queue_depth);
+        // One bounded submission queue per QoS lane, each at the device's
+        // NCQ depth; workers drain the serve lane first.
+        let (serve_tx, serve_rx) = bounded::<Request>(profile.queue_depth);
+        let (bulk_tx, bulk_rx) = bounded::<Request>(profile.queue_depth);
         let shared = Arc::new(Shared {
             profile: profile.clone(),
             image: OrderedRwLock::new(
@@ -312,17 +348,24 @@ impl SimSsd {
         });
         let mut workers = Vec::with_capacity(profile.channels);
         for i in 0..profile.channels {
-            let rx: Receiver<Request> = rx.clone();
+            let serve_rx: Receiver<Request> = serve_rx.clone();
+            let bulk_rx: Receiver<Request> = bulk_rx.clone();
             let sh = Arc::clone(&shared);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("simssd-{}-{}", profile.name, i))
-                    .spawn(move || channel_worker(sh, rx))
+                    .spawn(move || channel_worker(sh, serve_rx, bulk_rx))
                     .expect("spawn ssd worker"),
             );
         }
         Arc::new(SimSsd {
-            tx: OrderedMutex::new(LockRank::Storage, Some(tx)),
+            tx: OrderedMutex::new(
+                LockRank::Storage,
+                Some(LaneSenders {
+                    serve: serve_tx,
+                    bulk: bulk_tx,
+                }),
+            ),
             shared,
             workers: OrderedMutex::new(LockRank::Storage, workers),
         })
@@ -571,8 +614,8 @@ impl SimSsd {
         self.locate(file, offset, len).map(|_| ())
     }
 
-    fn sender(&self) -> Option<Sender<Request>> {
-        self.tx.lock().as_ref().cloned()
+    fn sender(&self, prio: IoPriority) -> Option<Sender<Request>> {
+        self.tx.lock().as_ref().map(|lanes| lanes.lane(prio).clone())
     }
 
     /// Reply `DeviceClosed` on a request's completion channel (the device
@@ -591,7 +634,7 @@ impl SimSsd {
     /// is full (the ring keeps it in its software SQ). A shut-down device
     /// consumes the request and completes it with `DeviceClosed`.
     pub(crate) fn try_submit(&self, req: Request) -> SubmitOutcome {
-        let Some(tx) = self.sender() else {
+        let Some(tx) = self.sender(req.prio) else {
             Self::refuse(req);
             return SubmitOutcome::Closed;
         };
@@ -615,7 +658,7 @@ impl SimSsd {
             SubmitOutcome::Closed => return Err(IoError::DeviceClosed),
             SubmitOutcome::Full(r) => r,
         };
-        let Some(tx) = self.sender() else {
+        let Some(tx) = self.sender(req.prio) else {
             Self::refuse(req);
             return Err(IoError::DeviceClosed);
         };
@@ -640,6 +683,19 @@ impl SimSsd {
         out: &mut [u8],
         direct: bool,
     ) -> Result<(), IoError> {
+        self.read_blocking_prio(file, offset, out, direct, IoPriority::Bulk)
+    }
+
+    /// [`SimSsd::read_blocking`] on an explicit QoS lane. Serving paths use
+    /// [`IoPriority::Serve`] so their reads bypass queued bulk traffic.
+    pub fn read_blocking_prio(
+        &self,
+        file: FileHandle,
+        offset: u64,
+        out: &mut [u8],
+        direct: bool,
+        prio: IoPriority,
+    ) -> Result<(), IoError> {
         if out.is_empty() {
             return Ok(());
         }
@@ -654,6 +710,7 @@ impl SimSsd {
             user_data: 0,
             reply,
             submitted: started,
+            prio,
         })?;
         let completion = {
             let _io = telemetry::state(telemetry::State::IoWait);
@@ -689,6 +746,7 @@ impl SimSsd {
             user_data: 0,
             reply,
             submitted: started,
+            prio: IoPriority::Bulk,
         })?;
         let completion = {
             let _io = telemetry::state(telemetry::State::IoWait);
@@ -721,11 +779,50 @@ fn reserve_bandwidth(shared: &Shared, bytes: u64) -> Instant {
     *cur
 }
 
-fn channel_worker(shared: Arc<Shared>, rx: Receiver<Request>) {
+/// Pull the next request, always preferring the serve lane. Blocks when
+/// both lanes are empty; returns `None` once both are disconnected and
+/// drained (shutdown). Requests already buffered in a disconnected lane
+/// are still delivered, so queued work keeps its `DeviceClosed` reply.
+fn next_request(serve: &Receiver<Request>, bulk: &Receiver<Request>) -> Option<Request> {
+    use crossbeam::channel::TryRecvError;
+    let mut serve_dead = false;
+    let mut bulk_dead = false;
+    loop {
+        if !serve_dead {
+            match serve.try_recv() {
+                Ok(r) => return Some(r),
+                Err(TryRecvError::Empty) => {}
+                Err(TryRecvError::Disconnected) => serve_dead = true,
+            }
+        }
+        if !bulk_dead {
+            match bulk.try_recv() {
+                Ok(r) => return Some(r),
+                Err(TryRecvError::Empty) => {}
+                Err(TryRecvError::Disconnected) => bulk_dead = true,
+            }
+        }
+        // Block until a lane has traffic, then loop to re-check the serve
+        // lane first. A sole surviving lane degrades to a plain recv.
+        match (serve_dead, bulk_dead) {
+            (true, true) => return None,
+            (true, false) => return bulk.recv().ok(),
+            (false, true) => return serve.recv().ok(),
+            (false, false) => {
+                let mut sel = crossbeam::channel::Select::new();
+                sel.recv(serve);
+                sel.recv(bulk);
+                let _ = sel.ready();
+            }
+        }
+    }
+}
+
+fn channel_worker(shared: Arc<Shared>, serve_rx: Receiver<Request>, bulk_rx: Receiver<Request>) {
     // The channel's virtual clock: the deadline of the last request it
     // serviced. It may run ahead of wall time by at most sleep_granularity.
     let mut cursor = Instant::now();
-    while let Ok(req) = rx.recv() {
+    while let Some(req) = next_request(&serve_rx, &bulk_rx) {
         if shared.closed.load(Ordering::Acquire) {
             // Shutdown in progress: fail queued requests fast instead of
             // servicing them.
@@ -761,6 +858,7 @@ fn channel_worker(shared: Arc<Shared>, rx: Receiver<Request>) {
         let service_ns = deadline.saturating_duration_since(start).as_nanos() as u64;
         let queue_ns = now.saturating_duration_since(req.submitted).as_nanos() as u64;
         shared.stats.record_op(service_ns, queue_ns);
+        shared.stats.record_lane(req.prio, queue_ns);
 
         // Real data movement (unless the injector doomed this request —
         // media errors still pay their modeled latency below).
@@ -773,7 +871,8 @@ fn channel_worker(shared: Arc<Shared>, rx: Receiver<Request>) {
         // fully when the queue is idle (so a lone synchronous caller sees
         // its full modeled latency).
         let ahead = deadline.saturating_duration_since(Instant::now());
-        if ahead > Duration::ZERO && (rx.is_empty() || ahead >= shared.profile.sleep_granularity) {
+        let idle = serve_rx.is_empty() && bulk_rx.is_empty();
+        if ahead > Duration::ZERO && (idle || ahead >= shared.profile.sleep_granularity) {
             std::thread::sleep(ahead);
         }
 
@@ -1152,6 +1251,69 @@ mod tests {
         // even if the bytes are wrong (the device never corrupts them).
         let garbage = vec![0xFFu8; 100];
         ssd.verify(f, 10, &garbage).unwrap();
+    }
+
+    #[test]
+    fn serve_reads_jump_ahead_of_queued_bulk_reads() {
+        use gnndrive_sync::{LockRank, OrderedMutex};
+
+        // One channel, 20 ms per read: completion order == service order.
+        let mut profile = SsdProfile::instant();
+        profile.channels = 1;
+        profile.read_latency = Duration::from_millis(20);
+        profile.sleep_granularity = Duration::from_micros(100);
+        let ssd = SimSsd::new(profile);
+        let f = ssd.create_file(64 * 512);
+
+        let order: Arc<OrderedMutex<Vec<&'static str>>> =
+            Arc::new(OrderedMutex::new(LockRank::Buffer, Vec::new()));
+        let read = move |ssd: &Arc<SimSsd>, prio: IoPriority| {
+            let mut out = vec![0u8; 512];
+            ssd.read_blocking_prio(f, 0, &mut out, true, prio)
+                .expect("read");
+        };
+
+        // Occupy the single channel with a bulk read…
+        let mut handles = Vec::new();
+        {
+            let (ssd, order) = (Arc::clone(&ssd), Arc::clone(&order));
+            handles.push(std::thread::spawn(move || {
+                read(&ssd, IoPriority::Bulk);
+                order.lock().push("head");
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        // …queue three more bulk reads behind it…
+        for _ in 0..3 {
+            let (ssd, order) = (Arc::clone(&ssd), Arc::clone(&order));
+            handles.push(std::thread::spawn(move || {
+                read(&ssd, IoPriority::Bulk);
+                order.lock().push("bulk");
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        // …then a serve read, submitted LAST but queued in the serve lane.
+        {
+            let (ssd, order) = (Arc::clone(&ssd), Arc::clone(&order));
+            handles.push(std::thread::spawn(move || {
+                read(&ssd, IoPriority::Serve);
+                order.lock().push("serve");
+            }));
+        }
+        for h in handles {
+            h.join().expect("reader thread");
+        }
+
+        let order = order.lock().clone();
+        assert_eq!(order[0], "head", "the in-service read finishes first");
+        assert_eq!(
+            order[1], "serve",
+            "the serve read must overtake queued bulk reads: {order:?}"
+        );
+        // And the lane split is visible in the stats counters.
+        let snap = ssd.stats().snapshot();
+        assert_eq!(snap.serve_ops, 1);
+        assert_eq!(snap.bulk_ops, 4);
     }
 
     #[test]

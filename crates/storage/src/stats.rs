@@ -34,6 +34,9 @@ pub struct IoStats {
     pub io_wait_nanos: AtomicU64,
     /// Times a submission found the device queue full and had to stall.
     pub queue_full_stalls: AtomicU64,
+    /// Requests serviced per QoS lane (DESIGN.md §11).
+    pub serve_ops: AtomicU64,
+    pub bulk_ops: AtomicU64,
     service: OrderedMutex<Histogram>,
     queueing: OrderedMutex<Histogram>,
     // Cached registry handles: one relaxed atomic op per event after
@@ -51,6 +54,12 @@ pub struct IoStats {
     // tell a congested device (queue-dominated) from a slow one.
     m_queue_wait_ns: Counter,
     m_service_ns: Counter,
+    // Per-QoS-lane op counts and summed queueing delay (the serving tier's
+    // evidence that its reads really do jump the bulk queue).
+    m_serve_ops: Counter,
+    m_bulk_ops: Counter,
+    m_serve_wait_ns: Counter,
+    m_bulk_wait_ns: Counter,
 }
 
 impl Default for IoStats {
@@ -62,6 +71,8 @@ impl Default for IoStats {
             write_bytes: AtomicU64::new(0),
             io_wait_nanos: AtomicU64::new(0),
             queue_full_stalls: AtomicU64::new(0),
+            serve_ops: AtomicU64::new(0),
+            bulk_ops: AtomicU64::new(0),
             service: OrderedMutex::new(LockRank::Storage, Histogram::new()),
             queueing: OrderedMutex::new(LockRank::Storage, Histogram::new()),
             m_read_ops: telemetry::counter("ssd.read_ops"),
@@ -74,6 +85,10 @@ impl Default for IoStats {
             m_queueing: telemetry::histogram_ns("ssd.queue_wait"),
             m_queue_wait_ns: telemetry::counter("storage.queue.wait_ns"),
             m_service_ns: telemetry::counter("storage.queue.service_ns"),
+            m_serve_ops: telemetry::counter("storage.queue.lane.serve_ops"),
+            m_bulk_ops: telemetry::counter("storage.queue.lane.bulk_ops"),
+            m_serve_wait_ns: telemetry::counter("storage.queue.lane.serve_wait_ns"),
+            m_bulk_wait_ns: telemetry::counter("storage.queue.lane.bulk_wait_ns"),
         }
     }
 }
@@ -92,6 +107,8 @@ pub struct IoStatsSnapshot {
     pub write_bytes: u64,
     pub io_wait_nanos: u64,
     pub queue_full_stalls: u64,
+    pub serve_ops: u64,
+    pub bulk_ops: u64,
     pub service_p50_ns: u64,
     pub service_p99_ns: u64,
     pub queue_wait_p50_ns: u64,
@@ -115,6 +132,8 @@ impl IoStats {
             write_bytes: self.write_bytes.load(Ordering::Relaxed),
             io_wait_nanos: self.io_wait_nanos.load(Ordering::Relaxed),
             queue_full_stalls: self.queue_full_stalls.load(Ordering::Relaxed),
+            serve_ops: self.serve_ops.load(Ordering::Relaxed),
+            bulk_ops: self.bulk_ops.load(Ordering::Relaxed),
             service_p50_ns,
             service_p99_ns,
             queue_wait_p50_ns,
@@ -157,6 +176,23 @@ impl IoStats {
         self.m_service_ns.add(service_ns);
     }
 
+    /// Record which QoS lane a serviced request came from and the queueing
+    /// delay it paid there (DESIGN.md §11).
+    pub fn record_lane(&self, prio: crate::IoPriority, queue_ns: u64) {
+        match prio {
+            crate::IoPriority::Serve => {
+                self.serve_ops.fetch_add(1, Ordering::Relaxed);
+                self.m_serve_ops.inc();
+                self.m_serve_wait_ns.add(queue_ns);
+            }
+            crate::IoPriority::Bulk => {
+                self.bulk_ops.fetch_add(1, Ordering::Relaxed);
+                self.m_bulk_ops.inc();
+                self.m_bulk_wait_ns.add(queue_ns);
+            }
+        }
+    }
+
     /// Percentile summary of per-op service time.
     pub fn service_summary(&self) -> HistSummary {
         HistSummary::of(&self.service.lock())
@@ -182,6 +218,8 @@ impl IoStatsSnapshot {
             queue_full_stalls: self
                 .queue_full_stalls
                 .saturating_sub(earlier.queue_full_stalls),
+            serve_ops: self.serve_ops.saturating_sub(earlier.serve_ops),
+            bulk_ops: self.bulk_ops.saturating_sub(earlier.bulk_ops),
             service_p50_ns: self.service_p50_ns,
             service_p99_ns: self.service_p99_ns,
             queue_wait_p50_ns: self.queue_wait_p50_ns,
@@ -252,5 +290,21 @@ mod tests {
         ));
         assert!(m.counter("storage.queue.wait_ns") >= 10_000);
         assert!(m.counter("storage.queue.service_ns") >= 50_000);
+    }
+
+    #[test]
+    fn lane_counters_split_serve_from_bulk() {
+        let s = IoStats::default();
+        s.record_lane(crate::IoPriority::Serve, 1_000);
+        s.record_lane(crate::IoPriority::Bulk, 2_000);
+        s.record_lane(crate::IoPriority::Bulk, 3_000);
+        let snap = s.snapshot();
+        assert_eq!(snap.serve_ops, 1);
+        assert_eq!(snap.bulk_ops, 2);
+        let d = snap.delta_since(&IoStatsSnapshot::default());
+        assert_eq!((d.serve_ops, d.bulk_ops), (1, 2));
+        let m = telemetry::snapshot_metrics();
+        assert!(m.counter("storage.queue.lane.serve_ops") >= 1);
+        assert!(m.counter("storage.queue.lane.bulk_wait_ns") >= 5_000);
     }
 }

@@ -355,6 +355,141 @@ fn health_probe_slot_admits_exactly_one() {
     });
 }
 
+// ---------------------------------------------------------------------
+// QoS lane models: priority drain + bounded bulk deference
+// ---------------------------------------------------------------------
+
+/// Re-statement of the two-lane submission queue in `src/ssd.rs`
+/// (`next_request`): the channel worker drains the serve lane before
+/// touching the bulk lane, under the same lock that serializes
+/// submission — so "a bulk request is popped while a serve request is
+/// pending" is a checkable safety violation, not a race.
+struct ModelLaneQueue {
+    queue: Mutex<LaneQueueState>,
+    submitted: Condvar,
+}
+
+struct LaneQueueState {
+    serve: Vec<u64>,
+    bulk: Vec<u64>,
+    /// Lane of each pop, in service order (true = serve).
+    pops: Vec<bool>,
+    /// How many pops had already happened when the serve request landed.
+    pops_at_serve_submit: usize,
+}
+
+impl ModelLaneQueue {
+    fn new(bulk_backlog: &[u64]) -> Self {
+        ModelLaneQueue {
+            queue: Mutex::new(LaneQueueState {
+                serve: Vec::new(),
+                bulk: bulk_backlog.to_vec(),
+                pops: Vec::new(),
+                pops_at_serve_submit: 0,
+            }),
+            submitted: Condvar::new(),
+        }
+    }
+
+    fn submit_serve(&self, id: u64) {
+        let mut st = self.queue.lock().unwrap();
+        st.pops_at_serve_submit = st.pops.len();
+        st.serve.push(id);
+        self.submitted.notify_one();
+    }
+
+    fn worker(&self, rounds: usize) {
+        for _ in 0..rounds {
+            let mut st = self.queue.lock().unwrap();
+            while st.serve.is_empty() && st.bulk.is_empty() {
+                st = self.submitted.wait(st).unwrap();
+            }
+            let is_serve = !st.serve.is_empty();
+            if is_serve {
+                st.serve.remove(0);
+            } else {
+                st.bulk.remove(0);
+            }
+            st.pops.push(is_serve);
+        }
+    }
+}
+
+/// A serve submission racing a worker over a two-deep bulk backlog: the
+/// serve request is never popped last (it overtakes at least one queued
+/// bulk request), no pop ever takes bulk while serve is visible, and
+/// nothing is lost.
+#[test]
+fn lane_queue_serve_overtakes_queued_bulk() {
+    loom::model(|| {
+        let q = Arc::new(ModelLaneQueue::new(&[10, 11]));
+        let w = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.worker(3))
+        };
+        q.submit_serve(1);
+        w.join().unwrap();
+        let st = q.queue.lock().unwrap();
+        assert!(st.serve.is_empty() && st.bulk.is_empty(), "request lost");
+        assert_eq!(st.pops.len(), 3);
+        // The priority property: submit and pop share the queue lock, so
+        // the very next pop after the serve submission must take the
+        // serve lane — it overtakes every bulk request still queued.
+        let serve_pos = st.pops.iter().position(|&s| s).expect("serve pop");
+        assert_eq!(
+            serve_pos, st.pops_at_serve_submit,
+            "a queued bulk request was serviced ahead of the pending serve request"
+        );
+    });
+}
+
+/// Re-statement of `MemoryGovernor::charge_waiting_lane`'s bulk-side
+/// deference (`src/governor.rs`): a bulk waiter polls, deferring while
+/// `serve_waiters > 0` (Acquire, as production) — but for at most
+/// `BULK_DEFER_POLLS` rounds, after which it charges anyway. The model
+/// checks both sides: bulk never admits ahead of a registered serve
+/// waiter *within* its deference budget, and an exhausted budget always
+/// admits (no starvation).
+#[test]
+fn lane_governor_bulk_defers_bounded_then_admits() {
+    const DEFER_BOUND: u32 = 2;
+    loom::model(|| {
+        let serve_waiters = Arc::new(AtomicU64::new(0));
+        let serve_done = Arc::new(loom::sync::atomic::AtomicBool::new(false));
+
+        let sw = Arc::clone(&serve_waiters);
+        let sd = Arc::clone(&serve_done);
+        let server = thread::spawn(move || {
+            // ServeWaiterSlot: register (AcqRel), take the memory, drop.
+            sw.fetch_add(1, Ordering::AcqRel);
+            sd.store(true, Ordering::Release);
+            let prev = sw.fetch_sub(1, Ordering::AcqRel);
+            assert!(prev >= 1, "waiter registration must balance");
+        });
+
+        // Bulk waiter: the charge_waiting_lane poll loop.
+        let mut deferred = 0u32;
+        let admitted_with_serve_pending = loop {
+            let pending = serve_waiters.load(Ordering::Acquire) > 0;
+            if pending && deferred < DEFER_BOUND {
+                deferred += 1;
+                thread::yield_now();
+                continue;
+            }
+            break pending;
+        };
+        if admitted_with_serve_pending {
+            assert_eq!(
+                deferred, DEFER_BOUND,
+                "bulk admitted past a serve waiter with deference budget left"
+            );
+        }
+        server.join().unwrap();
+        assert_eq!(serve_waiters.load(Ordering::Acquire), 0);
+        assert!(serve_done.load(Ordering::Acquire), "serve waiter starved");
+    });
+}
+
 /// Shutdown racing a submission: the submitter is always answered —
 /// either serviced (submitted before the close became visible) or failed
 /// fast — never left waiting on a dead ring.

@@ -6,7 +6,7 @@
 //! cargo run --release --example async_vs_sync_io
 //! ```
 
-use gnndrive::storage::{IoRing, SimSsd, SsdProfile};
+use gnndrive::prelude::*;
 use std::time::Instant;
 
 fn main() {

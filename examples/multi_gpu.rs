@@ -6,9 +6,7 @@
 //! cargo run --release --example multi_gpu
 //! ```
 
-use gnndrive::core::parallel::split_segments;
-use gnndrive::core::{run_data_parallel, ParallelConfig};
-use gnndrive::graph::MiniDataset;
+use gnndrive::prelude::*;
 use gnndrive_bench::scenario::build_gnndrive_workers;
 use gnndrive_bench::{dataset_for, env_knobs, Scenario};
 

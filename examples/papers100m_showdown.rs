@@ -6,7 +6,7 @@
 //! cargo run --release --example papers100m_showdown
 //! ```
 
-use gnndrive::graph::MiniDataset;
+use gnndrive::prelude::*;
 use gnndrive_bench::{
     build_system, dataset_for, env_knobs, print_table, Row, Scenario, SystemKind,
 };

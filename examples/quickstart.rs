@@ -5,11 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use gnndrive::core::{GnnDriveConfig, Pipeline, TrainingSystem};
-use gnndrive::device::GpuDevice;
-use gnndrive::graph::{Dataset, DatasetSpec};
-use gnndrive::nn::ModelKind;
-use gnndrive::storage::{MemoryGovernor, PageCache, SimSsd, SsdProfile};
+use gnndrive::prelude::*;
 use std::sync::Arc;
 
 fn main() {
@@ -53,10 +49,10 @@ fn main() {
         ..Default::default()
     };
     let mut pipeline = Pipeline::builder(dataset, GpuDevice::rtx3090())
-        .model(ModelKind::GraphSage, 32) // architecture, hidden dimension
-        .config(config)
-        .governor(governor)
-        .page_cache(page_cache)
+        .with_model(ModelKind::GraphSage, 32) // architecture, hidden dimension
+        .with_config(config)
+        .with_governor(governor)
+        .with_page_cache(page_cache)
         .build()
         .expect("pipeline construction");
 

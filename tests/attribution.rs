@@ -9,13 +9,7 @@
 //!   drive the *same* construction path to opposite verdicts
 //!   (MemoryContentionBound vs ComputeBound).
 
-use gnndrive::core::{GnnDriveConfig, Pipeline};
-use gnndrive::device::GpuDevice;
-use gnndrive::graph::{Dataset, DatasetSpec};
-use gnndrive::nn::ModelKind;
-use gnndrive::storage::{FaultPlan, MemoryGovernor, PageCache, SimSsd, SsdProfile};
-use gnndrive::sync::{LockRank, OrderedMutex};
-use gnndrive::telemetry;
+use gnndrive::prelude::*;
 use gnndrive_bench::trajectory::{run_scenario, suite, validate_bench};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -47,8 +41,8 @@ fn pipeline(ds: &Arc<Dataset>, sync_extract: bool) -> Pipeline {
     let gov = MemoryGovernor::unlimited();
     let cache = PageCache::new(Arc::clone(&ds.ssd), Arc::clone(&gov));
     Pipeline::builder(Arc::clone(ds), GpuDevice::rtx3090())
-        .model(ModelKind::GraphSage, 16)
-        .config(GnnDriveConfig {
+        .with_model(ModelKind::GraphSage, 16)
+        .with_config(GnnDriveConfig {
             sync_extract,
             fanouts: vec![3, 3],
             batch_size: 16,
@@ -56,8 +50,8 @@ fn pipeline(ds: &Arc<Dataset>, sync_extract: bool) -> Pipeline {
             seed: 13,
             ..Default::default()
         })
-        .governor(gov)
-        .page_cache(cache)
+        .with_governor(gov)
+        .with_page_cache(cache)
         .build()
         .expect("pipeline")
 }
@@ -120,7 +114,7 @@ fn every_stage_emits_spans_in_both_extractor_modes() {
     }
 }
 
-fn assert_conserved(stats: &gnndrive::core::EpochStats, what: &str) {
+fn assert_conserved(stats: &EpochStats, what: &str) {
     assert!(stats.report.error.is_none(), "{what}: epoch failed");
     assert!(
         !stats.batch_attribution.is_empty(),
@@ -184,7 +178,7 @@ fn verdict_reaches_run_reports_through_the_trait() {
     let _gate = TELEMETRY_GATE.lock();
     let ds = dataset(44);
     let mut p = pipeline(&ds, false);
-    let sys: &mut dyn gnndrive::core::TrainingSystem = &mut p;
+    let sys: &mut dyn TrainingSystem = &mut p;
     assert!(
         sys.last_attribution().is_none(),
         "no attribution before the first epoch"
@@ -219,10 +213,10 @@ fn memory_tight_and_compute_heavy_reach_opposite_verdicts() {
     validate_bench(&tight_doc).expect("tight_memory artifact");
     validate_bench(&heavy_doc).expect("compute_heavy artifact");
 
-    let verdict = |doc: &gnndrive::telemetry::Json| {
+    let verdict = |doc: &Json| {
         doc.get("attribution")
             .and_then(|a| a.get("verdict"))
-            .and_then(gnndrive::telemetry::Json::as_str)
+            .and_then(Json::as_str)
             .expect("verdict in artifact")
             .to_string()
     };

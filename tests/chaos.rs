@@ -12,16 +12,7 @@
 //! on an error burst, fails batches fast, and recovers via a half-open
 //! probe.
 
-use gnndrive::core::{GnnDriveConfig, Pipeline, TrainCheckpoint, TrainingSystem};
-use gnndrive::device::GpuDevice;
-use gnndrive::graph::{Dataset, DatasetSpec};
-use gnndrive::nn::ModelKind;
-use gnndrive::storage::{
-    FaultPlan, HealthConfig, HealthState, MemoryGovernor, PageCache, RetryPolicy, SimSsd,
-    SsdProfile,
-};
-use gnndrive::sync::{LockRank, OrderedMutex};
-use gnndrive::telemetry;
+use gnndrive::prelude::*;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -71,10 +62,10 @@ fn pipeline_cfg(ds: &Arc<Dataset>, cfg: GnnDriveConfig) -> Pipeline {
     let gov = MemoryGovernor::unlimited();
     let cache = PageCache::new(Arc::clone(&ds.ssd), Arc::clone(&gov));
     Pipeline::builder(Arc::clone(ds), GpuDevice::rtx3090())
-        .model(ModelKind::GraphSage, 16)
-        .config(cfg)
-        .governor(gov)
-        .page_cache(cache)
+        .with_model(ModelKind::GraphSage, 16)
+        .with_config(cfg)
+        .with_governor(gov)
+        .with_page_cache(cache)
         .build()
         .expect("pipeline")
 }
@@ -296,12 +287,6 @@ fn corruption_storm_matches_clean_loss_trajectory() {
 /// shadow-checksums clean against the dataset's ground truth.
 #[test]
 fn corruption_detection_is_deterministic_and_rows_checksum_clean() {
-    use gnndrive::core::extractor::{extract_batch, ExtractorContext};
-    use gnndrive::core::FeatureBufferManager;
-    use gnndrive::device::FeatureSlab;
-    use gnndrive::sampling::{InMemTopo, NeighborSampler};
-    use gnndrive::storage::{crc32, DeviceHealth};
-
     let _gate = INTEGRITY_GATE.lock();
 
     let run = || -> (u64, u64) {
@@ -338,6 +323,7 @@ fn corruption_detection_is_deterministic_and_rows_checksum_clean() {
             max_joint_read_bytes: 8_192,
             retry: RetryPolicy::default().with_max_attempts(8),
             health: Arc::new(DeviceHealth::new(HealthConfig::default())),
+            io_priority: IoPriority::Bulk,
         };
         let sampler = NeighborSampler::new(
             Arc::new(InMemTopo::new(Arc::clone(&ds.topology))),

@@ -1,9 +1,7 @@
 //! Cross-crate integration tests: all five systems training real models on
 //! shared substrates, with the paper's qualitative relationships asserted.
 
-use gnndrive::core::TrainingSystem;
-use gnndrive::graph::MiniDataset;
-use gnndrive::nn::ModelKind;
+use gnndrive::prelude::*;
 use gnndrive_bench::{build_system, dataset_for, EnvKnobs, Scenario, SystemKind};
 
 fn knobs() -> EnvKnobs {
@@ -116,9 +114,6 @@ fn reordering_does_not_change_what_is_learned() {
     // §5.3: out-of-order mini-batches converge equivalently. Train two
     // GNNDrive instances, reorder on vs off, same data; final accuracies
     // must land in the same band.
-    use gnndrive::core::{GnnDriveConfig, Pipeline};
-    use gnndrive::device::GpuDevice;
-    use gnndrive::storage::{MemoryGovernor, PageCache};
     use std::sync::Arc;
 
     let sc = scenario();
@@ -136,10 +131,10 @@ fn reordering_does_not_change_what_is_learned() {
             ..Default::default()
         };
         let mut p = Pipeline::builder(Arc::clone(&ds), GpuDevice::rtx3090())
-            .model(ModelKind::GraphSage, 16)
-            .config(cfg)
-            .governor(gov)
-            .page_cache(cache)
+            .with_model(ModelKind::GraphSage, 16)
+            .with_config(cfg)
+            .with_governor(gov)
+            .with_page_cache(cache)
             .build()
             .unwrap();
         for e in 0..4 {
@@ -159,7 +154,6 @@ fn run_report_artifact_covers_all_subsystems() {
     // The observability acceptance check: one GNNDrive epoch must yield a
     // JSON run report whose metric series span the storage, core, and
     // device crates, with per-stage percentiles and a utilization series.
-    use gnndrive::telemetry::{Monitor, RunReport};
     use gnndrive_bench::{collect_report, scenario_desc, PIPELINE_STAGES};
     use std::time::Duration;
 
@@ -217,7 +211,7 @@ fn run_report_artifact_covers_all_subsystems() {
 fn pipeline_epoch_exports_valid_chrome_trace() {
     // One traced epoch must produce spans for all four pipeline stages and
     // a structurally valid Chrome trace-event document.
-    use gnndrive::telemetry::{export_chrome_trace, trace_disable, trace_enable, trace_take, Json};
+    use telemetry::{export_chrome_trace, trace_disable, trace_enable, trace_take, Json};
 
     let sc = scenario();
     let ds = dataset_for(&sc);

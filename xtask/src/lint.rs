@@ -805,6 +805,28 @@ const KNOWN_ATTRIBUTION_METRICS: [&str; 8] = [
 ];
 const KNOWN_STORAGE_QUEUE_METRICS: [&str; 2] =
     ["storage.queue.wait_ns", "storage.queue.service_ns"];
+/// The per-lane QoS split of the SimSsd submission queue (DESIGN.md §11).
+const KNOWN_STORAGE_LANE_METRICS: [&str; 4] = [
+    "storage.queue.lane.serve_ops",
+    "storage.queue.lane.bulk_ops",
+    "storage.queue.lane.serve_wait_ns",
+    "storage.queue.lane.bulk_wait_ns",
+];
+/// The serving tier's closed namespace: admission counters, micro-batch
+/// accounting, the SLO violation tally, the latency/queue/service
+/// histograms, and the queue-depth gauge (DESIGN.md §11).
+const KNOWN_SERVE_METRICS: [&str; 10] = [
+    "serve.requests",
+    "serve.rejected",
+    "serve.completed",
+    "serve.failed",
+    "serve.batches",
+    "serve.slo_violations",
+    "serve.latency",
+    "serve.queue_wait",
+    "serve.service",
+    "serve.queue.depth",
+];
 
 fn closed_set_violation(name: &str) -> Option<&'static str> {
     if name.starts_with("core.attr.") && !KNOWN_ATTRIBUTION_METRICS.contains(&name) {
@@ -814,10 +836,28 @@ fn closed_set_violation(name: &str) -> Option<&'static str> {
              gnndrive-telemetry together",
         );
     }
+    // The lane sub-namespace nests inside `storage.queue.`, so it must be
+    // carved out before the broader prefix check.
+    if name.starts_with("storage.queue.lane.") {
+        if !KNOWN_STORAGE_LANE_METRICS.contains(&name) {
+            return Some(
+                "`storage.queue.lane.*` is the closed QoS lane split; extend \
+                 KNOWN_STORAGE_LANE_METRICS in xtask alongside the stats counters",
+            );
+        }
+        return None;
+    }
     if name.starts_with("storage.queue.") && !KNOWN_STORAGE_QUEUE_METRICS.contains(&name) {
         return Some(
             "`storage.queue.*` is the closed SimSsd queue/service split; extend \
              KNOWN_STORAGE_QUEUE_METRICS in xtask alongside the stats counters",
+        );
+    }
+    if name.starts_with("serve.") && !KNOWN_SERVE_METRICS.contains(&name) {
+        return Some(
+            "`serve.*` is the serving tier's closed namespace; extend \
+             KNOWN_SERVE_METRICS in xtask alongside the Server counters \
+             and the DESIGN.md §11 table",
         );
     }
     None
@@ -1054,6 +1094,36 @@ mod tests {
                    telemetry::counter(\"storage.queue.wait_ns\");\n    \
                    telemetry::counter(\"storage.queue.service_ns\");\n}\n";
         assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn lane_namespace_is_a_closed_set_inside_storage_queue() {
+        // The lane carve-out must match before the broader storage.queue
+        // prefix: a valid lane member passes …
+        let src = "fn f() { telemetry::counter(\"storage.queue.lane.serve_ops\"); }\n";
+        assert!(rules(src).is_empty());
+        // … a typo'd lane member is flagged as a lane violation …
+        let src = "fn f() { telemetry::counter(\"storage.queue.lane.srv_ops\"); }\n";
+        assert_eq!(rules(src), vec!["metric-name"]);
+        // … and all four lane counters are accepted together.
+        let src = "fn f() {\n    telemetry::counter(\"storage.queue.lane.serve_ops\");\n    \
+                   telemetry::counter(\"storage.queue.lane.bulk_ops\");\n    \
+                   telemetry::counter(\"storage.queue.lane.serve_wait_ns\");\n    \
+                   telemetry::counter(\"storage.queue.lane.bulk_wait_ns\");\n}\n";
+        assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn serve_namespace_is_a_closed_set() {
+        let src = "fn f() {\n    telemetry::counter(\"serve.requests\");\n    \
+                   telemetry::counter(\"serve.rejected\");\n    \
+                   telemetry::histogram_ns(\"serve.latency\");\n    \
+                   telemetry::gauge(\"serve.queue.depth\");\n}\n";
+        assert!(rules(src).is_empty());
+        let src = "fn f() { telemetry::counter(\"serve.request\"); }\n";
+        assert_eq!(rules(src), vec!["metric-name"]);
+        let src = "fn f() { telemetry::histogram_ns(\"serve.p99\"); }\n";
+        assert_eq!(rules(src), vec!["metric-name"]);
     }
 
     // -- rule f: recovery-abort -------------------------------------------
