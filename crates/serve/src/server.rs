@@ -385,9 +385,10 @@ fn batcher(
         }
         drop(st);
     }
-    let mut attr = shared.attribution.lock();
-    *attr = pipeline.last_attribution();
-    drop(attr);
+    // Read the pipeline's report before taking our lock: no foreign call
+    // happens while the attribution guard is held.
+    let attr = pipeline.last_attribution();
+    *shared.attribution.lock() = attr;
     pipeline
 }
 

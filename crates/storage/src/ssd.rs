@@ -419,7 +419,13 @@ impl SimSsd {
         self.shared.closed.store(true, Ordering::Release);
         // Dropping the sender lets workers drain the queue and exit.
         *self.tx.lock() = None;
-        for h in self.workers.lock().drain(..) {
+        // Take the handles out and release the lock before joining:
+        // joining with the `workers` guard held would deadlock anyone
+        // touching the worker list while a worker winds down.
+        let mut workers = self.workers.lock();
+        let handles = std::mem::take(&mut *workers);
+        drop(workers);
+        for h in handles {
             let _ = h.join();
         }
     }
@@ -615,7 +621,10 @@ impl SimSsd {
     }
 
     fn sender(&self, prio: IoPriority) -> Option<Sender<Request>> {
-        self.tx.lock().as_ref().map(|lanes| lanes.lane(prio).clone())
+        self.tx
+            .lock()
+            .as_ref()
+            .map(|lanes| lanes.lane(prio).clone())
     }
 
     /// Reply `DeviceClosed` on a request's completion channel (the device

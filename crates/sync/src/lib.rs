@@ -67,6 +67,64 @@ pub enum LockRank {
     Sync = 8,
 }
 
+impl LockRank {
+    /// Every rank, lowest (innermost) first. Keep in sync with
+    /// [`RANK_TABLE`]; the unit tests and `cargo xtask deadlock` both fail
+    /// if the two drift.
+    pub const ALL: [LockRank; 9] = [
+        LockRank::Telemetry,
+        LockRank::Storage,
+        LockRank::Health,
+        LockRank::PageCache,
+        LockRank::Ring,
+        LockRank::Governor,
+        LockRank::Buffer,
+        LockRank::Pipeline,
+        LockRank::Sync,
+    ];
+
+    /// The variant's name as it appears in source (`LockRank::name` sites).
+    pub const fn name(self) -> &'static str {
+        // Exhaustive on purpose: adding a rank without extending this match
+        // (and ALL / RANK_TABLE, which the tests pin to it) fails to build.
+        match self {
+            LockRank::Telemetry => "Telemetry",
+            LockRank::Storage => "Storage",
+            LockRank::Health => "Health",
+            LockRank::PageCache => "PageCache",
+            LockRank::Ring => "Ring",
+            LockRank::Governor => "Governor",
+            LockRank::Buffer => "Buffer",
+            LockRank::Pipeline => "Pipeline",
+            LockRank::Sync => "Sync",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<LockRank> {
+        LockRank::ALL.iter().copied().find(|r| r.name() == name)
+    }
+}
+
+/// Machine-readable mirror of the [`LockRank`] lattice, lowest rank first.
+///
+/// `cargo xtask deadlock` parses this table out of the source text (xtask is
+/// deliberately dependency-free) and validates every `LockRank::Xxx`
+/// acquisition site against it, so the static analyzer and the runtime
+/// checker can never disagree about the lattice. The `rank_table_matches_enum`
+/// test below pins the table to the enum itself; the analyzer additionally
+/// refuses to run if the table is missing or not strictly ascending.
+pub const RANK_TABLE: &[(&str, u8)] = &[
+    ("Telemetry", 0),
+    ("Storage", 1),
+    ("Health", 2),
+    ("PageCache", 3),
+    ("Ring", 4),
+    ("Governor", 5),
+    ("Buffer", 6),
+    ("Pipeline", 7),
+    ("Sync", 8),
+];
+
 #[cfg(debug_assertions)]
 mod held {
     use super::LockRank;
@@ -396,6 +454,21 @@ impl<T> DerefMut for OrderedRwLockWriteGuard<'_, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rank_table_matches_enum() {
+        assert_eq!(RANK_TABLE.len(), LockRank::ALL.len());
+        for (i, ((name, val), rank)) in RANK_TABLE.iter().zip(LockRank::ALL).enumerate() {
+            assert_eq!(*name, rank.name(), "RANK_TABLE[{i}] name drifted");
+            assert_eq!(*val, rank as u8, "RANK_TABLE[{i}] value drifted");
+            assert_eq!(LockRank::from_name(name), Some(rank));
+        }
+        // Strictly ascending: the analyzer's lattice checks assume it.
+        for w in RANK_TABLE.windows(2) {
+            assert!(w[0].1 < w[1].1, "RANK_TABLE not strictly ascending");
+        }
+        assert_eq!(LockRank::from_name("NoSuchRank"), None);
+    }
 
     #[test]
     fn descending_acquisition_is_allowed() {

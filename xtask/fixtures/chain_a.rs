@@ -1,0 +1,30 @@
+//! Cross-crate blocking-chain fixture, caller side.
+//!
+//! `drain` holds the queue guard while calling into `chain_b::stage_one`,
+//! which (two hops deeper) performs blocking SSD I/O. No single scope here
+//! contains both the guard and the blocking call — only the
+//! interprocedural pass can connect them. Expected: one
+//! `blocking-under-lock` finding anchored at the `stage_one` call site,
+//! with a chain reaching `read_blocking` in chain_b.rs.
+
+use crate::chain_b;
+use gnndrive_sync::{LockRank, OrderedMutex};
+
+pub struct Dispatcher {
+    queue: OrderedMutex<Vec<u64>>,
+}
+
+impl Dispatcher {
+    pub fn new() -> Dispatcher {
+        Dispatcher {
+            queue: OrderedMutex::new(LockRank::Pipeline, Vec::new()),
+        }
+    }
+
+    pub fn drain(&self) {
+        let q = self.queue.lock();
+        for id in q.iter() {
+            chain_b::stage_one(*id);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Cross-crate blocking-chain fixture, callee side.
+//!
+//! `stage_one` -> `stage_two` -> `Device::read_blocking`: the blocking
+//! operation sits two calls below the entry point that chain_a.rs invokes
+//! under its queue guard.
+
+pub struct Device {
+    base: u64,
+}
+
+impl Device {
+    pub fn open(base: u64) -> Device {
+        Device { base }
+    }
+
+    pub fn read_blocking(&self, id: u64) -> u64 {
+        self.base + id
+    }
+}
+
+pub fn stage_one(id: u64) -> u64 {
+    stage_two(id)
+}
+
+pub fn stage_two(id: u64) -> u64 {
+    let dev = Device::open(0);
+    dev.read_blocking(id)
+}

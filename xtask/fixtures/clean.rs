@@ -1,0 +1,65 @@
+//! Known-clean fixture for `cargo xtask deadlock`.
+//!
+//! Every pattern here is legal: correctly-ordered nesting, guards dropped
+//! before blocking, `try_*` probes against the rank order, and blocking
+//! work detached onto a spawned thread. The analyzer must report ZERO
+//! findings on this file — any diagnostic is a false positive.
+
+use gnndrive_sync::{LockRank, OrderedMutex};
+
+pub struct Clean {
+    outer: OrderedMutex<u64>,
+    inner: OrderedMutex<u64>,
+}
+
+impl Clean {
+    pub fn new() -> Clean {
+        Clean {
+            outer: OrderedMutex::new(LockRank::Buffer, 0),
+            inner: OrderedMutex::new(LockRank::Telemetry, 0),
+        }
+    }
+
+    /// Correct order: Buffer (6) first, then Telemetry (0) — descending.
+    pub fn nested_ok(&self) -> u64 {
+        let o = self.outer.lock();
+        let i = self.inner.lock();
+        *o + *i
+    }
+
+    /// Guard confined to an inner scope before the sleep.
+    pub fn scoped_then_sleep(&self) {
+        {
+            let mut o = self.outer.lock();
+            *o += 1;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+
+    /// Explicit drop before the sleep.
+    pub fn drop_then_sleep(&self) {
+        let mut o = self.outer.lock();
+        *o += 1;
+        drop(o);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+
+    /// `try_lock` against the order cannot deadlock: it never parks.
+    pub fn try_inversion_is_fine(&self) -> bool {
+        let i = self.inner.lock();
+        if let Some(o) = self.outer.try_lock() {
+            return *o > *i;
+        }
+        false
+    }
+
+    /// The closure runs on its own thread: the caller's guard is not held
+    /// there, and the sleep happens guard-free.
+    pub fn spawn_worker(&self) {
+        let mut o = self.outer.lock();
+        *o += 1;
+        std::thread::spawn(|| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+    }
+}

@@ -1,0 +1,36 @@
+//! Known-cyclic fixture for `cargo xtask deadlock`.
+//!
+//! Classic ABBA: two locks at the SAME rank (`Storage`), taken in opposite
+//! orders by two functions. The runtime `LockRank` checker is blind to this
+//! (equal-rank nesting is legal under the lattice), so only the static
+//! lock-order graph's cycle check can catch it. The analyzer must emit a
+//! `lock-cycle` finding naming both locks — and must NOT emit a
+//! `lock-order-inversion`, because the ranks are equal.
+
+use gnndrive_sync::{LockRank, OrderedMutex};
+
+pub struct Cyclic {
+    left: OrderedMutex<u64>,
+    right: OrderedMutex<u64>,
+}
+
+impl Cyclic {
+    pub fn new() -> Cyclic {
+        Cyclic {
+            left: OrderedMutex::new(LockRank::Storage, 0),
+            right: OrderedMutex::new(LockRank::Storage, 0),
+        }
+    }
+
+    pub fn forward(&self) -> u64 {
+        let l = self.left.lock();
+        let r = self.right.lock();
+        *l + *r
+    }
+
+    pub fn backward(&self) -> u64 {
+        let r = self.right.lock();
+        let l = self.left.lock();
+        *r - *l
+    }
+}

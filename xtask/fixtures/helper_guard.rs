@@ -1,0 +1,35 @@
+//! Regression fixture for the lint's known false-negative class
+//! (ISSUE 8, satellite 1).
+//!
+//! The guard is acquired through an accessor — `lock_state()` returns the
+//! `OrderedMutexGuard` — so the token-level `blocking-under-lock` rule in
+//! `lint.rs`, which keys on literal `.lock()` / `.read()` / `.write()`
+//! receivers, never sees an acquisition in `slow_update`'s scope. The
+//! interprocedural pass models `returns_guard` helpers as acquisitions at
+//! the call site and must flag the sleep. Tests assert BOTH behaviours:
+//! the lint stays silent (documenting the gap) and the deadlock analyzer
+//! is the enforcing check.
+
+use gnndrive_sync::{LockRank, OrderedMutex, OrderedMutexGuard};
+
+pub struct Store {
+    state: OrderedMutex<u64>,
+}
+
+impl Store {
+    pub fn new() -> Store {
+        Store {
+            state: OrderedMutex::new(LockRank::Buffer, 0),
+        }
+    }
+
+    fn lock_state(&self) -> OrderedMutexGuard<'_, u64> {
+        self.state.lock()
+    }
+
+    pub fn slow_update(&self) {
+        let mut g = self.lock_state();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        *g += 1;
+    }
+}

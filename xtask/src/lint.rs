@@ -1,6 +1,6 @@
 //! Concurrency & telemetry static analysis (`cargo xtask lint`).
 //!
-//! Six rules, each encoding a workspace concurrency invariant (see
+//! Seven rules, each encoding a workspace concurrency invariant (see
 //! DESIGN.md §8 "Concurrency invariants" and §9 "Integrity & device
 //! health"):
 //!
@@ -25,6 +25,11 @@
 //!   `process::abort` outside tests. A corrupted page or tripped breaker
 //!   is a runtime condition these modules exist to survive; they must
 //!   return typed errors.
+//! * **stale-allow** — an `xtask/lint-allow.toml` entry whose file no
+//!   longer uses `Ordering::Relaxed` (or no longer exists) fails the
+//!   lint, so written justifications cannot outlive the code they
+//!   justified. The deadlock analyzer applies the same policy to
+//!   `xtask/deadlock-allow.toml`.
 //!
 //! The pass is a token-level scanner, not a full parser: comments and
 //! string literals are blanked before matching (so prose never trips a
@@ -78,17 +83,26 @@ pub struct FileClass {
     pub is_recovery_path: bool,
 }
 
+/// One justified `Ordering::Relaxed` exemption.
+#[derive(Debug, Clone)]
+pub struct RelaxedEntry {
+    /// Workspace-relative path allowed to use `Ordering::Relaxed`.
+    pub path: String,
+    pub reason: String,
+    /// 1-based line of the `[[relaxed]]` header, for stale-allow
+    /// diagnostics.
+    pub line: usize,
+}
+
 /// Parsed `xtask/lint-allow.toml`.
 #[derive(Debug, Default, Clone)]
 pub struct Allowlist {
-    /// Workspace-relative paths allowed to use `Ordering::Relaxed`,
-    /// with their recorded justification.
-    pub relaxed: Vec<(String, String)>,
+    pub relaxed: Vec<RelaxedEntry>,
 }
 
 impl Allowlist {
     pub fn allows_relaxed(&self, path: &str) -> bool {
-        self.relaxed.iter().any(|(p, _)| p == path)
+        self.relaxed.iter().any(|e| e.path == path)
     }
 
     /// Minimal TOML-subset parser: `[[relaxed]]` tables with string keys
@@ -96,11 +110,11 @@ impl Allowlist {
     /// allowlist cannot silently rot.
     pub fn parse(text: &str) -> Result<Allowlist, String> {
         let mut out = Allowlist::default();
-        let mut cur: Option<(Option<String>, Option<String>)> = None;
-        let flush = |cur: &mut Option<(Option<String>, Option<String>)>,
+        let mut cur: Option<(Option<String>, Option<String>, usize)> = None;
+        let flush = |cur: &mut Option<(Option<String>, Option<String>, usize)>,
                      out: &mut Allowlist|
          -> Result<(), String> {
-            if let Some((path, reason)) = cur.take() {
+            if let Some((path, reason, line)) = cur.take() {
                 let path = path.ok_or("[[relaxed]] entry missing `path`")?;
                 let reason = reason.ok_or("[[relaxed]] entry missing `reason`")?;
                 if reason.trim().len() < 10 {
@@ -108,7 +122,7 @@ impl Allowlist {
                         "[[relaxed]] entry for {path}: `reason` must be a real justification"
                     ));
                 }
-                out.relaxed.push((path, reason));
+                out.relaxed.push(RelaxedEntry { path, reason, line });
             }
             Ok(())
         };
@@ -119,7 +133,7 @@ impl Allowlist {
             }
             if line == "[[relaxed]]" {
                 flush(&mut cur, &mut out)?;
-                cur = Some((None, None));
+                cur = Some((None, None, no + 1));
                 continue;
             }
             let (key, val) = line
@@ -158,6 +172,7 @@ pub fn run(root: &Path) -> Result<Vec<Diagnostic>, String> {
     files.sort();
 
     let mut diags = Vec::new();
+    let mut relaxed_used: std::collections::HashSet<String> = std::collections::HashSet::new();
     for file in files {
         let rel = file
             .strip_prefix(root)
@@ -167,12 +182,52 @@ pub fn run(root: &Path) -> Result<Vec<Diagnostic>, String> {
         let class = classify(&rel);
         let source =
             std::fs::read_to_string(&file).map_err(|e| format!("cannot read {rel}: {e}"))?;
+        // An allowlist entry is "used" only when it actually suppresses a
+        // would-be finding: non-test code in that file still says
+        // `Ordering::Relaxed` outside `#[cfg(test)]`.
+        if !class.is_test_file
+            && allow.allows_relaxed(&rel)
+            && blank_test_modules(&strip_comments_and_strings(&source))
+                .contains("Ordering::Relaxed")
+        {
+            relaxed_used.insert(rel.clone());
+        }
         diags.extend(lint_source(&rel, &source, class, &allow));
     }
+    diags.extend(stale_allow_diags(&allow, &relaxed_used));
     Ok(diags)
 }
 
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+/// Rule `stale-allow`: every `[[relaxed]]` entry must still suppress a
+/// real `Ordering::Relaxed` use; dead entries fail the lint.
+pub fn stale_allow_diags(
+    allow: &Allowlist,
+    used: &std::collections::HashSet<String>,
+) -> Vec<Diagnostic> {
+    allow
+        .relaxed
+        .iter()
+        .filter(|e| !used.contains(&e.path))
+        .map(|e| Diagnostic {
+            rule: "stale-allow",
+            message: format!(
+                "allowlist entry for `{}` matches no `Ordering::Relaxed` use",
+                e.path
+            ),
+            path: "xtask/lint-allow.toml".to_string(),
+            line: e.line,
+            col: 1,
+            snippet: format!("path = \"{}\"", e.path),
+            help: format!(
+                "the justified code no longer exists (or moved); delete the entry — \
+                 stale justifications hide future regressions (recorded reason: {})",
+                e.reason
+            ),
+        })
+        .collect()
+}
+
+pub(crate) fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return;
     };
@@ -981,10 +1036,11 @@ mod tests {
         let src = "fn f(c: &AtomicU64) { c.load(Ordering::Relaxed); }\n";
         assert_eq!(rules(src), vec!["relaxed-ordering"]);
         let allow = Allowlist {
-            relaxed: vec![(
-                "crates/demo/src/lib.rs".into(),
-                "monotonic counter read for reporting only".into(),
-            )],
+            relaxed: vec![RelaxedEntry {
+                path: "crates/demo/src/lib.rs".into(),
+                reason: "monotonic counter read for reporting only".into(),
+                line: 1,
+            }],
         };
         assert!(lint_source("crates/demo/src/lib.rs", src, LIB, &allow).is_empty());
     }
@@ -1194,6 +1250,39 @@ mod tests {
             Allowlist::parse("path = \"x\"\n").is_err(),
             "key outside table"
         );
+    }
+
+    // -- rule g: stale-allow ---------------------------------------------
+
+    #[test]
+    fn unused_allowlist_entries_are_flagged_with_their_line() {
+        let allow = Allowlist::parse(
+            "# header comment\n[[relaxed]]\npath = \"crates/live/src/hot.rs\"\n\
+             reason = \"per-thread counters aggregated at snapshot\"\n\n\
+             [[relaxed]]\npath = \"crates/gone/src/old.rs\"\n\
+             reason = \"file was deleted, this entry must go stale\"\n",
+        )
+        .unwrap();
+        let mut used = std::collections::HashSet::new();
+        used.insert("crates/live/src/hot.rs".to_string());
+        let diags = stale_allow_diags(&allow, &used);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "stale-allow");
+        assert_eq!(diags[0].path, "xtask/lint-allow.toml");
+        assert_eq!(diags[0].line, 6, "anchors at the [[relaxed]] header");
+        assert!(diags[0].message.contains("crates/gone/src/old.rs"));
+    }
+
+    #[test]
+    fn used_allowlist_entries_are_not_stale() {
+        let allow = Allowlist::parse(
+            "[[relaxed]]\npath = \"crates/live/src/hot.rs\"\n\
+             reason = \"per-thread counters aggregated at snapshot\"\n",
+        )
+        .unwrap();
+        let mut used = std::collections::HashSet::new();
+        used.insert("crates/live/src/hot.rs".to_string());
+        assert!(stale_allow_diags(&allow, &used).is_empty());
     }
 
     // -- diagnostics format ----------------------------------------------

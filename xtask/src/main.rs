@@ -1,15 +1,25 @@
-//! Workspace automation. One subcommand today:
+//! Workspace automation. Two subcommands:
 //!
 //! ```text
 //! cargo xtask lint
+//! cargo xtask deadlock [--dot PATH|-] [--json PATH|-]
 //! ```
 //!
-//! runs the concurrency/telemetry static-analysis pass over every Rust
-//! source in the workspace (see [`lint`]) and exits non-zero when any
-//! diagnostic fires. CI runs it as a gate; DESIGN.md §8 documents the
-//! policy behind each rule.
+//! `lint` runs the token-level concurrency/telemetry pass over every Rust
+//! source in the workspace (see [`lint`]); `deadlock` runs the deeper
+//! interprocedural tier (see [`deadlock`]): it builds a source model and
+//! call graph, derives the static lock-order graph, checks it for cycles
+//! and for consistency with the `LockRank` lattice in `crates/sync`, and
+//! reports any blocking operation reachable while a guard is live, with
+//! full call chains. `--dot` / `--json` export the graph and findings
+//! (`-` writes to stdout). Both exit non-zero when any diagnostic fires;
+//! CI runs them as gates. DESIGN.md §8 documents the lint policy, §12 the
+//! deadlock analyzer.
 
+mod callgraph;
+mod deadlock;
 mod lint;
+mod model;
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -25,32 +35,106 @@ fn workspace_root() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("."))
 }
 
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo xtask lint");
+    eprintln!("       cargo xtask deadlock [--dot PATH|-] [--json PATH|-]");
+    ExitCode::FAILURE
+}
+
+fn write_artifact(what: &str, target: &str, content: &str) -> Result<(), String> {
+    if target == "-" {
+        print!("{content}");
+        Ok(())
+    } else {
+        std::fs::write(target, content).map_err(|e| format!("cannot write {what} {target}: {e}"))
+    }
+}
+
+fn cmd_lint() -> ExitCode {
+    let diags = match lint::run(&workspace_root()) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: lint failed to run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for d in &diags {
+        print!("{d}");
+    }
+    if diags.is_empty() {
+        eprintln!("lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("lint: {} diagnostic(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_deadlock(args: &[String]) -> ExitCode {
+    let mut dot: Option<String> = None;
+    let mut json: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dot" => match it.next() {
+                Some(p) => dot = Some(p.clone()),
+                None => return usage(),
+            },
+            "--json" => match it.next() {
+                Some(p) => json = Some(p.clone()),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let analysis = match deadlock::run(&workspace_root()) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: deadlock analysis failed to run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(target) = dot {
+        if let Err(e) = write_artifact("dot artifact", &target, &deadlock::to_dot(&analysis)) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(target) = json {
+        if let Err(e) = write_artifact("json artifact", &target, &deadlock::to_json(&analysis)) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    for f in &analysis.findings {
+        print!("{f}");
+    }
+    let s = &analysis.stats;
+    eprintln!(
+        "deadlock: {} file(s), {} fn(s), {} lock(s), {} lock-order edge(s), \
+         {}/{} call site(s) resolved",
+        s.files, s.functions, s.locks, s.lock_order_edges, s.resolved_call_sites, s.call_sites
+    );
+    if !analysis.suppressed.is_empty() {
+        eprintln!(
+            "deadlock: {} finding(s) suppressed by xtask/deadlock-allow.toml",
+            analysis.suppressed.len()
+        );
+    }
+    if analysis.findings.is_empty() {
+        eprintln!("deadlock: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("deadlock: {} finding(s)", analysis.findings.len());
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => {
-            let root = workspace_root();
-            let diags = match lint::run(&root) {
-                Ok(d) => d,
-                Err(e) => {
-                    eprintln!("error: lint failed to run: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            for d in &diags {
-                print!("{d}");
-            }
-            if diags.is_empty() {
-                eprintln!("lint: clean");
-                ExitCode::SUCCESS
-            } else {
-                eprintln!("lint: {} diagnostic(s)", diags.len());
-                ExitCode::FAILURE
-            }
-        }
-        _ => {
-            eprintln!("usage: cargo xtask lint");
-            ExitCode::FAILURE
-        }
+        Some("lint") if args.len() == 1 => cmd_lint(),
+        Some("deadlock") => cmd_deadlock(&args[1..]),
+        _ => usage(),
     }
 }

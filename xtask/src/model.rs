@@ -1,0 +1,1211 @@
+//! Lightweight Rust source model for the interprocedural analyses
+//! (`cargo xtask deadlock`).
+//!
+//! Like the lint pass this is a hand-rolled, zero-dependency token scanner,
+//! not a real parser. It extracts exactly what the deadlock analyzer needs
+//! from every workspace source file:
+//!
+//! * **functions** — name, impl type, signature span, whether the return
+//!   type is an `Ordered*Guard` (guard-returning lock helpers) or an
+//!   `Ordered{Mutex,RwLock}` reference (lock-accessor aliases), and an
+//!   ordered event stream for the body;
+//! * **lock declarations** — every `OrderedMutex::new(LockRank::R, ..)` /
+//!   `OrderedRwLock::new(..)` site, keyed by the binding name (struct
+//!   field, `let`, or `static`) scoped to its file;
+//! * **events** — lock acquisitions (`.lock()`, `.read()`, `.write()`,
+//!   `try_*`), condvar waits, directly blocking operations
+//!   (`thread::sleep`, `read_blocking`/`write_blocking`, channel `recv`,
+//!   thread `join`, bare `.wait()`), calls that may resolve to workspace
+//!   functions, `drop(guard)`, and scope open/close.
+//!
+//! Soundness posture (DESIGN.md §12): this is a conservative *may*
+//! analysis over names. Closures handed to `spawn(..)` are split off as
+//! synthetic root functions (they run on their own thread and never
+//! inherit the caller's held guards). `#[cfg(test)]` and `#[cfg(loom)]`
+//! items are blanked before modeling. Locks reached through collections or
+//! locals rebound from fields are invisible (counted in
+//! [`ModelStats::unresolved_lock_receivers`]); anything the model *does*
+//! see is analyzed.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use crate::lint::strip_comments_and_strings;
+
+pub type FnId = usize;
+pub type LockId = usize;
+
+/// One `Ordered{Mutex,RwLock}` identity: a binding name scoped to a file.
+/// Distinct constructions sharing the same `(file, name)` merge (and union
+/// their ranks); that is the precision limit of a token-level model.
+#[derive(Debug, Clone)]
+pub struct LockDef {
+    pub name: String,
+    pub file: String,
+    pub line: usize,
+    /// `LockRank` variant names seen at construction sites. Empty when the
+    /// rank is not a literal `LockRank::X` (dynamic rank, accessor alias).
+    pub ranks: BTreeSet<String>,
+}
+
+/// One event in a function body, in source order.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// Direct acquisition of a known lock.
+    Acquire {
+        lock: LockId,
+        /// `let` binding holding the guard for the rest of its scope;
+        /// `None` = temporary (guard dies at the end of the statement).
+        bound: Option<String>,
+        /// `try_*` acquisitions never park, so they cannot be the blocked
+        /// edge of a deadlock cycle (held side still counts).
+        blocking: bool,
+        line: usize,
+    },
+    /// `cv.wait(&mut g)` — `g`'s mutex is released for the park duration.
+    CondvarWait {
+        guard: Option<String>,
+        line: usize,
+    },
+    /// A directly blocking operation (sleep, blocking SSD I/O, recv, ...).
+    Block {
+        what: String,
+        line: usize,
+    },
+    /// A call that may resolve to workspace functions.
+    Call {
+        name: String,
+        /// `Type` (or module) for `Qual::name(..)` calls.
+        qual: Option<String>,
+        /// Called through `.name(` syntax.
+        method: bool,
+        /// The receiver is literally `self` (enables impl-type filtering).
+        recv_self: bool,
+        /// `let` binding of the call result, when the call is the whole
+        /// right-hand side (guard-returning helper support).
+        bound: Option<String>,
+        /// Bare-ident by-value arguments (guard moves into callees).
+        moved: Vec<String>,
+        line: usize,
+    },
+    Drop {
+        name: String,
+        line: usize,
+    },
+    Open {
+        line: usize,
+    },
+    Close {
+        line: usize,
+    },
+}
+
+impl Event {
+    pub fn line(&self) -> usize {
+        match self {
+            Event::Acquire { line, .. }
+            | Event::CondvarWait { line, .. }
+            | Event::Block { line, .. }
+            | Event::Call { line, .. }
+            | Event::Drop { line, .. }
+            | Event::Open { line }
+            | Event::Close { line } => *line,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    pub name: String,
+    pub impl_type: Option<String>,
+    /// `Type::name` or bare `name`, for diagnostics.
+    pub qname: String,
+    pub file: String,
+    /// Return type mentions an `Ordered*Guard`: calling this function is a
+    /// lock acquisition at the call site (the lint's known false-negative
+    /// class, now modeled). Accessors returning the lock itself
+    /// (`fn registry() -> &'static OrderedMutex<..>`) are handled earlier,
+    /// at lock collection, where the accessor name becomes a lock name.
+    /// Spawn-closure bodies are split into synthetic `{spawn#k}` roots so
+    /// they never inherit caller guards.
+    pub returns_guard: bool,
+    pub events: Vec<Event>,
+}
+
+#[derive(Debug, Default, Clone)]
+pub struct ModelStats {
+    pub files: usize,
+    pub functions: usize,
+    pub locks: usize,
+    pub call_sites: usize,
+    /// `.lock()`/`.read()`/`.write()` receivers the model could not map to
+    /// a declared lock (collections of locks, rebound locals, ...).
+    pub unresolved_lock_receivers: usize,
+    /// Constructions whose rank was not a literal `LockRank::X`.
+    pub dynamic_rank_sites: usize,
+}
+
+pub struct Model {
+    pub fns: Vec<FnDef>,
+    pub locks: Vec<LockDef>,
+    pub stats: ModelStats,
+    fns_by_name: HashMap<String, Vec<FnId>>,
+}
+
+impl Model {
+    /// Build the model from `(workspace-relative path, source)` pairs.
+    pub fn build(files: &[(String, String)]) -> Model {
+        let mut b = Builder::default();
+        // Pass 1: per-file scans that feed the global tables (lock and
+        // condvar declarations need to exist before bodies are modeled).
+        let mut prepped: Vec<(String, String, Vec<RawFn>)> = Vec::new();
+        for (path, text) in files {
+            let stripped = strip_comments_and_strings(text);
+            let code = blank_cfg_excluded(&stripped);
+            let raw_fns = extract_fns(&code);
+            b.collect_locks(path, &code, &raw_fns);
+            b.collect_condvars(path, &code);
+            prepped.push((path.clone(), code, raw_fns));
+        }
+        // Pass 2: model every function body against the global tables.
+        for (path, code, raw_fns) in &prepped {
+            b.model_file(path, code, raw_fns);
+        }
+        b.finish()
+    }
+
+    pub fn fn_def(&self, id: FnId) -> &FnDef {
+        &self.fns[id]
+    }
+
+    pub fn lock(&self, id: LockId) -> &LockDef {
+        &self.locks[id]
+    }
+
+    /// Functions matching a bare name (no filtering).
+    pub fn fns_named(&self, name: &str) -> &[FnId] {
+        self.fns_by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+// --------------------------------------------------------------------------
+// builder
+
+#[derive(Default)]
+struct Builder {
+    fns: Vec<FnDef>,
+    locks: Vec<LockDef>,
+    lock_by_file_name: HashMap<(String, String), LockId>,
+    condvars: HashSet<String>,
+    stats: ModelStats,
+}
+
+/// A function located in pass 1: spans into the blanked source.
+struct RawFn {
+    name: String,
+    impl_type: Option<String>,
+    sig_start: usize,
+    /// `(open brace idx, close brace idx)`, both inclusive of the braces.
+    body: (usize, usize),
+    ret: String,
+}
+
+impl Builder {
+    fn lock_id(&mut self, file: &str, name: &str, line: usize) -> LockId {
+        let key = (file.to_string(), name.to_string());
+        if let Some(&id) = self.lock_by_file_name.get(&key) {
+            return id;
+        }
+        let id = self.locks.len();
+        self.locks.push(LockDef {
+            name: name.to_string(),
+            file: file.to_string(),
+            line,
+            ranks: BTreeSet::new(),
+        });
+        self.lock_by_file_name.insert(key, id);
+        id
+    }
+
+    /// Pass 1a: `Ordered{Mutex,RwLock}::new(LockRank::R, ..)` sites.
+    fn collect_locks(&mut self, path: &str, code: &str, raw_fns: &[RawFn]) {
+        let lines = line_starts(code);
+        for pat in ["OrderedMutex::new", "OrderedRwLock::new"] {
+            for (idx, _) in code.match_indices(pat) {
+                if idx > 0 && is_ident(code.as_bytes()[idx - 1]) {
+                    continue; // part of a longer identifier
+                }
+                let line = line_of(&lines, idx);
+                let rank = rank_after_new(code, idx + pat.len());
+                if rank.is_none() {
+                    self.stats.dynamic_rank_sites += 1;
+                }
+                let name = binding_name_before(code, idx).or_else(|| {
+                    // Unbound construction inside a lock-accessor function
+                    // (`fn registry() -> &OrderedMutex<..> { .. new(..) .. }`):
+                    // the accessor's name is the lock name.
+                    raw_fns
+                        .iter()
+                        .find(|f| f.body.0 < idx && idx < f.body.1 && returns_lock(&f.ret))
+                        .map(|f| f.name.clone())
+                });
+                let Some(name) = name else { continue };
+                let id = self.lock_id(path, &name, line);
+                if let Some(r) = rank {
+                    self.locks[id].ranks.insert(r);
+                }
+            }
+        }
+        // Lock-accessor functions without an internal construction still
+        // name a lock (rank unknown: held side counts, inversion unchecked).
+        for f in raw_fns {
+            if returns_lock(&f.ret) {
+                self.lock_id(path, &f.name, line_of(&lines, f.sig_start));
+            }
+        }
+    }
+
+    /// Pass 1b: condvar binding names (`freed: OrderedCondvar`, `let cv =
+    /// OrderedCondvar::new()`, ...).
+    fn collect_condvars(&mut self, _path: &str, code: &str) {
+        for (idx, _) in code.match_indices("OrderedCondvar") {
+            if idx > 0 && is_ident(code.as_bytes()[idx - 1]) {
+                continue;
+            }
+            if let Some(name) = binding_name_before(code, idx) {
+                self.condvars.insert(name);
+            }
+        }
+    }
+
+    /// Pass 2: turn each function body into an event stream.
+    fn model_file(&mut self, path: &str, code: &str, raw_fns: &[RawFn]) {
+        self.stats.files += 1;
+        let lines = line_starts(code);
+        for (i, rf) in raw_fns.iter().enumerate() {
+            // Exclude nested fn bodies from the enclosing fn's events.
+            let mut skip: Vec<(usize, usize)> = raw_fns
+                .iter()
+                .enumerate()
+                .filter(|(j, o)| *j != i && o.body.0 > rf.body.0 && o.body.1 < rf.body.1)
+                .map(|(_, o)| (o.sig_start, o.body.1 + 1))
+                .collect();
+            // Detach spawn-closure bodies into synthetic root functions.
+            let spawned = spawn_closure_spans(code, rf.body, &skip);
+            skip.extend(spawned.iter().copied());
+            let events = self.scan_events(path, code, (rf.body.0 + 1, rf.body.1), &skip, &lines);
+            let qname = match &rf.impl_type {
+                Some(t) => format!("{t}::{}", rf.name),
+                None => rf.name.clone(),
+            };
+            self.stats.functions += 1;
+            self.fns.push(FnDef {
+                name: rf.name.clone(),
+                impl_type: rf.impl_type.clone(),
+                qname: qname.clone(),
+                file: path.to_string(),
+                returns_guard: returns_guard(&rf.ret),
+                events,
+            });
+            for (k, span) in spawned.iter().enumerate() {
+                let events = self.scan_events(path, code, *span, &[], &lines);
+                self.stats.functions += 1;
+                self.fns.push(FnDef {
+                    name: format!("{}::{{spawn#{k}}}", rf.name),
+                    impl_type: rf.impl_type.clone(),
+                    qname: format!("{qname}::{{spawn#{k}}}"),
+                    file: path.to_string(),
+                    returns_guard: false,
+                    events,
+                });
+            }
+        }
+    }
+
+    /// The core body scanner: one linear pass emitting [`Event`]s.
+    fn scan_events(
+        &mut self,
+        path: &str,
+        code: &str,
+        span: (usize, usize),
+        skip: &[(usize, usize)],
+        lines: &[usize],
+    ) -> Vec<Event> {
+        let bytes = code.as_bytes();
+        let mut events = Vec::new();
+        let mut i = span.0;
+        // Current `let` statement context: (binding, rhs-start, deref-copy).
+        let mut cur_let: Option<(String, bool)> = None;
+        while i < span.1 {
+            if let Some((_, end)) = skip.iter().copied().find(|&(s, e)| s <= i && i < e) {
+                i = end;
+                continue;
+            }
+            let b = bytes[i];
+            match b {
+                b'{' => {
+                    events.push(Event::Open {
+                        line: line_of(lines, i),
+                    });
+                    i += 1;
+                }
+                b'}' => {
+                    events.push(Event::Close {
+                        line: line_of(lines, i),
+                    });
+                    i += 1;
+                }
+                b';' => {
+                    cur_let = None;
+                    i += 1;
+                }
+                _ if is_ident(b) && (i == 0 || !is_ident(bytes[i - 1])) => {
+                    let start = i;
+                    while i < span.1 && is_ident(bytes[i]) {
+                        i += 1;
+                    }
+                    let word = &code[start..i];
+                    if word == "let" {
+                        cur_let = parse_let_binding(code, i, span.1);
+                        continue;
+                    }
+                    // Identifier followed by `(` (possibly with `::<..>`
+                    // turbofish) is a call of some shape.
+                    let mut after = skip_ws(bytes, i, span.1);
+                    if bytes.get(after) == Some(&b':')
+                        && bytes.get(after + 1) == Some(&b':')
+                        && bytes.get(after + 2) == Some(&b'<')
+                    {
+                        if let Some(close) = match_angle(code, after + 2, span.1) {
+                            after = skip_ws(bytes, close + 1, span.1);
+                        }
+                    }
+                    if bytes.get(after) != Some(&b'(') {
+                        continue;
+                    }
+                    // Macros (`foo!(`) never reach here: `!` breaks the
+                    // ident+`(` adjacency check above.
+                    if let Some(e) =
+                        self.classify_call(path, code, span, start, i, after, lines, &cur_let)
+                    {
+                        events.push(e);
+                    }
+                    // Do not consume the args: nested calls inside them must
+                    // also be seen. Continue right after the open paren.
+                    i = after + 1;
+                }
+                _ => i += 1,
+            }
+        }
+        events
+    }
+
+    /// Classify `word(` at `word = code[start..end]`, open paren at `open`.
+    #[allow(clippy::too_many_arguments)]
+    fn classify_call(
+        &mut self,
+        path: &str,
+        code: &str,
+        span: (usize, usize),
+        start: usize,
+        end: usize,
+        open: usize,
+        lines: &[usize],
+        cur_let: &Option<(String, bool)>,
+    ) -> Option<Event> {
+        let bytes = code.as_bytes();
+        let word = &code[start..end];
+        let line = line_of(lines, start);
+        const KEYWORDS: [&str; 14] = [
+            "if", "match", "while", "for", "loop", "return", "fn", "move", "in", "as", "where",
+            "else", "break", "continue",
+        ];
+        const CTORS: [&str; 6] = ["Some", "Ok", "Err", "None", "Box", "Vec"];
+        if KEYWORDS.contains(&word) {
+            return None;
+        }
+        if word == "drop" {
+            let arg_start = skip_ws(bytes, open + 1, span.1);
+            let arg = read_ident(code, arg_start);
+            if !arg.is_empty() {
+                return Some(Event::Drop { name: arg, line });
+            }
+            return None;
+        }
+        // What precedes the identifier decides the call shape.
+        let before = prev_non_ws(bytes, start);
+        let is_method = before.is_some_and(|j| bytes[j] == b'.');
+        let qual = if !is_method
+            && before.is_some_and(|j| j >= 1 && bytes[j] == b':' && bytes[j - 1] == b':')
+        {
+            prev_non_ws(bytes, before.unwrap() - 1).and_then(|j| {
+                let q_end = j + 1;
+                let q_start = ident_start(bytes, q_end);
+                (q_start < q_end).then(|| code[q_start..q_end].to_string())
+            })
+        } else {
+            None
+        };
+        // Binding: the call is the entire RHS of the active `let`.
+        let close = match_paren(code, open, span.1);
+        let bound = match (cur_let, close) {
+            (Some((name, false)), Some(c)) => {
+                let mut t = skip_ws(bytes, c + 1, span.1);
+                if bytes.get(t) == Some(&b'?') {
+                    t = skip_ws(bytes, t + 1, span.1);
+                }
+                (bytes.get(t) == Some(&b';')).then(|| name.clone())
+            }
+            _ => None,
+        };
+        let first_arg_mut_ref = {
+            let a = skip_ws(bytes, open + 1, span.1);
+            code[a..span.1.min(a + 5)].starts_with("&mut ")
+        };
+        if is_method {
+            let dot = before.unwrap();
+            let recv = receiver_tail(code, dot);
+            match word {
+                "lock" | "try_lock" | "read" | "write" | "try_read" | "try_write" => {
+                    if let Some(recv) = &recv {
+                        if let Some(lock) = self.lookup_lock(path, &recv.name) {
+                            // `let x = *self.cfg.lock();` copies out: the
+                            // guard is a statement temporary.
+                            let deref = cur_let.as_ref().is_some_and(|(_, d)| *d);
+                            return Some(Event::Acquire {
+                                lock,
+                                bound: if deref { None } else { bound },
+                                blocking: !word.starts_with("try_"),
+                                line,
+                            });
+                        }
+                    }
+                    if word == "lock" || word == "try_lock" {
+                        self.stats.unresolved_lock_receivers += 1;
+                    }
+                    // `.read()`/`.write()` on unknown receivers are io
+                    // traits more often than locks: skip (documented miss).
+                    None
+                }
+                "wait" | "wait_for" | "wait_timeout" | "wait_while" => {
+                    let on_condvar = recv
+                        .as_ref()
+                        .is_some_and(|r| self.condvars.contains(&r.name));
+                    if on_condvar || first_arg_mut_ref {
+                        let a = skip_ws(bytes, open + 1, span.1);
+                        let g = if code[a..].starts_with("&mut ") {
+                            let off = skip_ws(bytes, a + 5, span.1);
+                            let id = read_ident(code, off);
+                            (!id.is_empty()).then_some(id)
+                        } else {
+                            None
+                        };
+                        return Some(Event::CondvarWait { guard: g, line });
+                    }
+                    // `Ticket::wait()` and friends: parks the thread.
+                    Some(Event::Block {
+                        what: format!(".{word}()"),
+                        line,
+                    })
+                }
+                "read_blocking" | "write_blocking" | "recv_timeout" | "recv_deadline" => {
+                    Some(Event::Block {
+                        what: format!(".{word}()"),
+                        line,
+                    })
+                }
+                "recv" | "join" => {
+                    // Empty-arg `.recv()` / `.join()` are the channel/thread
+                    // blockers; `path.join("x")` etc. are not.
+                    let a = skip_ws(bytes, open + 1, span.1);
+                    if bytes.get(a) == Some(&b')') {
+                        Some(Event::Block {
+                            what: format!(".{word}()"),
+                            line,
+                        })
+                    } else {
+                        self.stats.call_sites += 1;
+                        Some(Event::Call {
+                            name: word.to_string(),
+                            qual: None,
+                            method: true,
+                            recv_self: recv.as_ref().is_some_and(|r| r.name == "self"),
+                            bound,
+                            moved: moved_args(code, open, span.1),
+                            line,
+                        })
+                    }
+                }
+                "spawn" => None, // closure already detached; spawning never blocks
+                _ => {
+                    self.stats.call_sites += 1;
+                    Some(Event::Call {
+                        name: word.to_string(),
+                        qual: None,
+                        method: true,
+                        recv_self: recv.as_ref().is_some_and(|r| r.name == "self"),
+                        bound,
+                        moved: moved_args(code, open, span.1),
+                        line,
+                    })
+                }
+            }
+        } else {
+            // Free or associated call.
+            if word == "sleep" && qual.as_deref() == Some("thread") {
+                return Some(Event::Block {
+                    what: "thread::sleep".into(),
+                    line,
+                });
+            }
+            if CTORS.contains(&word) || word == "spawn" {
+                return None;
+            }
+            if let Some(q) = &qual {
+                // `Ordered*::new` is a lock construction, not a call.
+                if q.starts_with("Ordered") {
+                    return None;
+                }
+            }
+            self.stats.call_sites += 1;
+            Some(Event::Call {
+                name: word.to_string(),
+                qual,
+                method: false,
+                recv_self: false,
+                bound,
+                moved: moved_args(code, open, span.1),
+                line,
+            })
+        }
+    }
+
+    /// A receiver name resolves to a lock when its file declares one with
+    /// that name, or exactly one file anywhere does. Ambiguous cross-file
+    /// names (several crates each have an `inner` lock) do NOT fall back —
+    /// guessing a rank would manufacture false inversions.
+    fn lookup_lock(&self, file: &str, name: &str) -> Option<LockId> {
+        if let Some(&id) = self
+            .lock_by_file_name
+            .get(&(file.to_string(), name.to_string()))
+        {
+            return Some(id);
+        }
+        let mut it = self
+            .locks
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.name == name)
+            .map(|(i, _)| i);
+        match (it.next(), it.next()) {
+            (Some(id), None) => Some(id),
+            _ => None,
+        }
+    }
+
+    fn finish(mut self) -> Model {
+        self.stats.locks = self.locks.len();
+        let mut fns_by_name: HashMap<String, Vec<FnId>> = HashMap::new();
+        for (id, f) in self.fns.iter().enumerate() {
+            fns_by_name.entry(f.name.clone()).or_default().push(id);
+        }
+        Model {
+            fns: self.fns,
+            locks: self.locks,
+            stats: self.stats,
+            fns_by_name,
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// text helpers
+
+pub fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn line_starts(code: &str) -> Vec<usize> {
+    let mut v = vec![0];
+    for (i, b) in code.bytes().enumerate() {
+        if b == b'\n' {
+            v.push(i + 1);
+        }
+    }
+    v
+}
+
+fn line_of(lines: &[usize], idx: usize) -> usize {
+    lines.partition_point(|&s| s <= idx)
+}
+
+fn skip_ws(bytes: &[u8], mut i: usize, end: usize) -> usize {
+    while i < end && (bytes[i] as char).is_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+fn prev_non_ws(bytes: &[u8], i: usize) -> Option<usize> {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        if !(bytes[j] as char).is_whitespace() {
+            return Some(j);
+        }
+    }
+    None
+}
+
+fn ident_start(bytes: &[u8], end: usize) -> usize {
+    let mut s = end;
+    while s > 0 && is_ident(bytes[s - 1]) {
+        s -= 1;
+    }
+    s
+}
+
+fn read_ident(code: &str, i: usize) -> String {
+    code[i..]
+        .chars()
+        .take_while(|c| is_ident(*c as u8))
+        .collect()
+}
+
+/// Matching `)` for the `(` at `open`.
+fn match_paren(code: &str, open: usize, end: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut depth = 0i32;
+    for (off, &b) in bytes[open..end].iter().enumerate() {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(open + off);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Matching `>` for the `<` at `open` (no `->` handling needed: turbofish
+/// type lists never contain `->` at depth 0 in this workspace's code).
+fn match_angle(code: &str, open: usize, end: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < end {
+        match bytes[i] {
+            b'<' => depth += 1,
+            b'>' => {
+                if i > 0 && bytes[i - 1] == b'-' {
+                    // `->` inside an Fn() type
+                } else {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(i);
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+fn returns_guard(ret: &str) -> bool {
+    [
+        "OrderedMutexGuard",
+        "OrderedRwLockReadGuard",
+        "OrderedRwLockWriteGuard",
+    ]
+    .iter()
+    .any(|g| ret.contains(g))
+}
+
+fn returns_lock(ret: &str) -> bool {
+    ret.contains("OrderedMutex<") || ret.contains("OrderedRwLock<")
+}
+
+/// Parse `let [mut] name` directly after the `let` keyword; returns the
+/// binding plus whether the RHS starts with `*` (deref copy-out). Complex
+/// patterns (`let (a, b) = ..`) yield `None`.
+fn parse_let_binding(code: &str, after_let: usize, end: usize) -> Option<(String, bool)> {
+    let bytes = code.as_bytes();
+    let mut i = skip_ws(bytes, after_let, end);
+    if code[i..].starts_with("mut ") {
+        i = skip_ws(bytes, i + 4, end);
+    }
+    let name = read_ident(code, i);
+    if name.is_empty() || name == "_" {
+        return None;
+    }
+    i += name.len();
+    // Optional type ascription: skip to `=` at angle depth 0.
+    let mut depth = 0i32;
+    while i < end {
+        match bytes[i] {
+            b'<' => depth += 1,
+            b'>' if i > 0 && bytes[i - 1] != b'-' => depth -= 1,
+            b'=' if depth == 0 && bytes.get(i + 1) != Some(&b'=') => {
+                let r = skip_ws(bytes, i + 1, end);
+                return Some((name, bytes.get(r) == Some(&b'*')));
+            }
+            b';' | b'{' => return None,
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+struct Receiver {
+    name: String,
+}
+
+/// Tail identifier of the receiver chain ending at the `.` at `dot`:
+/// `self.inner.lock()` → `inner`; `rows[i].read()` → `rows`;
+/// `registry().lock()` → `registry`.
+fn receiver_tail(code: &str, dot: usize) -> Option<Receiver> {
+    let bytes = code.as_bytes();
+    let mut j = prev_non_ws(bytes, dot)? + 1;
+    loop {
+        let last = j.checked_sub(1)?;
+        match bytes[last] {
+            b')' | b']' => {
+                let (open, close) = if bytes[last] == b')' {
+                    (b'(', b')')
+                } else {
+                    (b'[', b']')
+                };
+                let mut depth = 0i32;
+                let mut k = j;
+                while k > 0 {
+                    k -= 1;
+                    if bytes[k] == close {
+                        depth += 1;
+                    } else if bytes[k] == open {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                }
+                j = k;
+            }
+            b if is_ident(b) => {
+                let s = ident_start(bytes, j);
+                return Some(Receiver {
+                    name: code[s..j].to_string(),
+                });
+            }
+            b'?' => j = last,
+            _ => return None,
+        }
+    }
+}
+
+/// Statement-prefix scan for the binding a construction flows into: the
+/// nearest preceding `field:`, `let name =`, or `static NAME` within the
+/// same statement (bounded by `;`, `{`, `}` and a few hundred bytes).
+fn binding_name_before(code: &str, idx: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let lo = idx.saturating_sub(400);
+    let mut s = idx;
+    while s > lo {
+        match bytes[s - 1] {
+            b';' | b'{' | b'}' => break,
+            _ => s -= 1,
+        }
+    }
+    let prefix = &code[s..idx];
+    // `field: OrderedMutex::new(..)` / `name: OrderedCondvar,` — the most
+    // specific shape: a trailing `name:` right before the construction.
+    let trimmed = prefix.trim_end();
+    if let Some(rest) = trimmed.strip_suffix(':') {
+        let rest = rest.trim_end();
+        let name: String = rest
+            .chars()
+            .rev()
+            .take_while(|c| is_ident(*c as u8))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+        if !name.is_empty() {
+            return Some(name);
+        }
+    }
+    if let Some(p) = prefix.rfind("static ") {
+        let rest = prefix[p + 7..].trim_start();
+        let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+        let name = read_ident(rest, 0);
+        if !name.is_empty() {
+            return Some(name);
+        }
+    }
+    if let Some(p) = prefix.rfind("let ") {
+        // Reject `let` inside a closure header that isn't statement-level —
+        // good enough: take it.
+        let rest = prefix[p + 4..].trim_start();
+        let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+        let name = read_ident(rest, 0);
+        if !name.is_empty() && name != "_" {
+            return Some(name);
+        }
+    }
+    // `name = OrderedMutex::new(..)` re-assignment / `NAME: Ordered.. =`.
+    if trimmed.ends_with('=') && !trimmed.ends_with("==") {
+        let rest = trimmed[..trimmed.len() - 1].trim_end();
+        // Skip over a type ascription: `NAME: OrderedMutex<()> =`.
+        let base = rest.rfind(':').map(|c| &rest[..c]).unwrap_or(rest);
+        let name: String = base
+            .trim_end()
+            .chars()
+            .rev()
+            .take_while(|c| is_ident(*c as u8))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+        if !name.is_empty() {
+            return Some(name);
+        }
+    }
+    None
+}
+
+/// `LockRank::R` (optionally path-prefixed) right after `new`'s `(`.
+fn rank_after_new(code: &str, after_new: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut i = skip_ws(bytes, after_new, code.len());
+    if bytes.get(i) != Some(&b'(') {
+        return None;
+    }
+    i = skip_ws(bytes, i + 1, code.len());
+    // Allow `gnndrive_sync::LockRank::R` and plain `LockRank::R`.
+    loop {
+        let word = read_ident(code, i);
+        if word.is_empty() {
+            return None;
+        }
+        i += word.len();
+        if word == "LockRank" {
+            if !code[i..].starts_with("::") {
+                return None;
+            }
+            let r = read_ident(code, i + 2);
+            return (!r.is_empty()).then_some(r);
+        }
+        if code[i..].starts_with("::") {
+            i += 2;
+            continue;
+        }
+        return None;
+    }
+}
+
+/// Top-level bare-identifier arguments of the call whose `(` is at `open`
+/// (by-value guard moves: `self.readahead(inner, file, ..)` consumes
+/// `inner`). `&`/`&mut` borrows are not moves.
+fn moved_args(code: &str, open: usize, end: usize) -> Vec<String> {
+    let Some(close) = match_paren(code, open, end) else {
+        return Vec::new();
+    };
+    let inner = &code[open + 1..close];
+    let bytes = inner.as_bytes();
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    for i in 0..=inner.len() {
+        let flush = i == inner.len() || (bytes[i] == b',' && depth == 0);
+        if i < inner.len() {
+            match bytes[i] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                _ => {}
+            }
+        }
+        if flush {
+            let arg = inner[start..i].trim();
+            if !arg.is_empty()
+                && arg.bytes().all(is_ident)
+                && !arg.as_bytes()[0].is_ascii_digit()
+                && !["self", "true", "false"].contains(&arg)
+            {
+                out.push(arg.to_string());
+            }
+            start = i + 1;
+        }
+    }
+    out
+}
+
+/// Spans of closure bodies handed to `spawn(..)` calls inside `body`
+/// (excluding `skip` ranges): these run on other threads.
+fn spawn_closure_spans(
+    code: &str,
+    body: (usize, usize),
+    skip: &[(usize, usize)],
+) -> Vec<(usize, usize)> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for (idx, _) in code[body.0..body.1].match_indices("spawn") {
+        let at = body.0 + idx;
+        if skip.iter().any(|(s, e)| *s <= at && at < *e) {
+            continue;
+        }
+        if at > 0 && is_ident(bytes[at - 1]) {
+            continue;
+        }
+        let mut i = at + 5;
+        if bytes.get(i) != Some(&b'(') {
+            continue;
+        }
+        let Some(close) = match_paren(code, i, body.1) else {
+            continue;
+        };
+        i = skip_ws(bytes, i + 1, close);
+        if code[i..].starts_with("move") {
+            i = skip_ws(bytes, i + 4, close);
+        }
+        if bytes.get(i) != Some(&b'|') {
+            continue;
+        }
+        // Closure header `|..|`: find the closing `|`.
+        let mut j = i + 1;
+        while j < close && bytes[j] != b'|' {
+            j += 1;
+        }
+        if j >= close {
+            continue;
+        }
+        out.push((j + 1, close));
+    }
+    out
+}
+
+/// Blank `#[cfg(test)]` and `#[cfg(loom)]` item bodies (offsets preserved):
+/// the analyses cover what ships, not the test or loom-model shims.
+pub fn blank_cfg_excluded(stripped: &str) -> String {
+    let mut out: Vec<u8> = stripped.as_bytes().to_vec();
+    for pat in ["#[cfg(test)]", "#[cfg(loom)]"] {
+        let mut search = 0;
+        while let Some(pos) = stripped[search..].find(pat) {
+            let attr = search + pos;
+            search = attr + pat.len();
+            let Some(open_rel) = stripped[attr..].find('{') else {
+                break;
+            };
+            let open = attr + open_rel;
+            // Brace-less item (`#[cfg(loom)] use ..;`): a `;` before the
+            // `{` means the attribute's item ended without a body.
+            if stripped[attr..open].contains(';') {
+                continue;
+            }
+            let bytes = stripped.as_bytes();
+            let mut depth = 0i32;
+            let mut end = open;
+            for (off, &b) in bytes[open..].iter().enumerate() {
+                match b {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = open + off;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            for b in out.iter_mut().take(end).skip(open + 1) {
+                if *b != b'\n' {
+                    *b = b' ';
+                }
+            }
+            search = end.max(search);
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+// --------------------------------------------------------------------------
+// function extraction
+
+/// Locate every `fn` item (including nested ones) with its impl context.
+fn extract_fns(code: &str) -> Vec<RawFn> {
+    let bytes = code.as_bytes();
+    let mut out: Vec<RawFn> = Vec::new();
+    // (type name, depth at which the impl body opened)
+    let mut impl_stack: Vec<(Option<String>, i32)> = Vec::new();
+    // (fn index in `out`, depth at which the body opened)
+    let mut fn_stack: Vec<(usize, i32)> = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'{' => {
+                depth += 1;
+                i += 1;
+            }
+            b'}' => {
+                depth -= 1;
+                while let Some(&(fi, d)) = fn_stack.last() {
+                    if depth < d {
+                        out[fi].body.1 = i;
+                        fn_stack.pop();
+                    } else {
+                        break;
+                    }
+                }
+                while let Some(&(_, d)) = impl_stack.last() {
+                    if depth < d {
+                        impl_stack.pop();
+                    } else {
+                        break;
+                    }
+                }
+                i += 1;
+            }
+            _ if is_ident(b) && (i == 0 || !is_ident(bytes[i - 1])) => {
+                let start = i;
+                while i < bytes.len() && is_ident(bytes[i]) {
+                    i += 1;
+                }
+                let word = &code[start..i];
+                if (word == "impl" || word == "trait") && fn_stack.is_empty() {
+                    // `impl<T> Trait for Type {` / `impl Type {` /
+                    // `trait Name {` (default methods belong to the trait).
+                    let Some(open_rel) = code[i..].find('{') else {
+                        continue;
+                    };
+                    let header = &code[i..i + open_rel];
+                    if header.contains(';') {
+                        continue;
+                    }
+                    let ty = if word == "trait" {
+                        let name = read_ident(header.trim_start(), 0);
+                        (!name.is_empty()).then_some(name)
+                    } else {
+                        impl_type_name(header)
+                    };
+                    // The `{` will be consumed by the main loop; body depth
+                    // is the depth after it opens.
+                    impl_stack.push((ty, depth + 1));
+                } else if word == "fn" {
+                    if let Some((name, ret, body_open)) = parse_fn_sig(code, i) {
+                        let fi = out.len();
+                        out.push(RawFn {
+                            name,
+                            impl_type: impl_stack.last().and_then(|(t, _)| t.clone()),
+                            sig_start: start,
+                            body: (body_open, code.len().saturating_sub(1)),
+                            ret,
+                        });
+                        fn_stack.push((fi, depth + 1));
+                        depth += 1;
+                        i = body_open + 1;
+                    }
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// `impl<T> Trait for Type<..>` / `impl Type` → the implementing type name.
+fn impl_type_name(header: &str) -> Option<String> {
+    let header = header.trim();
+    let rest = match header.find(" for ") {
+        Some(p) => &header[p + 5..],
+        None => {
+            // Skip leading generics `<..>`.
+            let h = header.trim_start();
+            if let Some(stripped) = h.strip_prefix('<') {
+                let mut depth = 1i32;
+                let mut cut = h.len();
+                for (off, c) in stripped.char_indices() {
+                    match c {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                cut = off + 2;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                &h[cut.min(h.len())..]
+            } else {
+                h
+            }
+        }
+    };
+    // First path's last segment before `<`/whitespace/`where`.
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| c == '<' || c.is_whitespace() || c == '{')
+        .unwrap_or(rest.len());
+    let path = &rest[..end];
+    let name = path.rsplit("::").next().unwrap_or(path);
+    (!name.is_empty()).then(|| name.to_string())
+}
+
+/// From just after the `fn` keyword, parse `name .. ( .. ) [-> ret] {`.
+/// Returns `(name, return type text, body-open index)`, or `None` for
+/// signature-only declarations (trait methods without bodies).
+fn parse_fn_sig(code: &str, after_fn: usize) -> Option<(String, String, usize)> {
+    let bytes = code.as_bytes();
+    let mut i = skip_ws(bytes, after_fn, code.len());
+    let name = read_ident(code, i);
+    if name.is_empty() {
+        return None;
+    }
+    i += name.len();
+    i = skip_ws(bytes, i, code.len());
+    if bytes.get(i) == Some(&b'<') {
+        i = match_angle(code, i, code.len())? + 1;
+        i = skip_ws(bytes, i, code.len());
+    }
+    if bytes.get(i) != Some(&b'(') {
+        return None;
+    }
+    let close = match_paren(code, i, code.len())?;
+    // Scan from after the params to the body `{` or a `;`, capturing the
+    // return type. `{` inside `<..>` (e.g. `Foo<{N}>`) is not a concern in
+    // this workspace; `where` clauses pass through harmlessly.
+    let mut j = close + 1;
+    let mut ret_start: Option<usize> = None;
+    let mut angle = 0i32;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'-' if bytes.get(j + 1) == Some(&b'>') => {
+                if ret_start.is_none() {
+                    ret_start = Some(j + 2);
+                }
+                j += 2;
+                continue;
+            }
+            b'<' => angle += 1,
+            b'>' => angle -= 1,
+            b'{' if angle <= 0 => {
+                let ret = ret_start
+                    .map(|r| code[r..j].trim().to_string())
+                    .unwrap_or_default();
+                return Some((name, ret, j));
+            }
+            b';' if angle <= 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
