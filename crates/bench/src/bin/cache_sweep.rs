@@ -1,0 +1,150 @@
+//! `cache_sweep` — run the pinned Belady-vs-LRU page-cache sweep and
+//! (optionally) gate it against the committed baseline.
+//!
+//! ```text
+//! cache_sweep [--out DIR] [--check] [--baseline DIR] [--epsilon X]
+//! ```
+//!
+//! Always runs the sweep, prints the Fig-9-style hit-rate table, and
+//! writes `BENCH_cache_sweep.json` plus the `TRACE_cache_sweep.bin`
+//! access-trace artifact under `--out` (default `results/reports`).
+//!
+//! With `--check` the run additionally gates, exiting nonzero if:
+//!
+//! * Belady's hit rate falls below LRU's at any budget (validation — the
+//!   trace-driven policy losing to LRU means the policy is broken);
+//! * any policy's hit rate drops more than `--epsilon` (default 0.001)
+//!   below the committed baseline (`--baseline`, default
+//!   `results/baselines`) — the sweep is deterministic, so any real drop
+//!   is a regression, not noise;
+//! * Belady's replay at the tightest budget is slower than LRU's by more
+//!   than 25% (at that budget the replay is miss-dominated, so fewer
+//!   misses must not cost wall time).
+
+use gnndrive_bench::cache_sweep::{
+    compare_cache_sweep, hit_rate_rows, run_sweep, sweep_path, trace_artifact_path,
+    validate_cache_sweep, SWEEP_POLICIES,
+};
+use gnndrive_bench::print_table;
+use gnndrive_telemetry::Json;
+use std::path::{Path, PathBuf};
+
+fn usage() -> ! {
+    eprintln!("usage: cache_sweep [--out DIR] [--check] [--baseline DIR] [--epsilon X]");
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("cache_sweep: {msg}");
+    std::process::exit(1);
+}
+
+/// Belady-vs-LRU epoch seconds at the tightest (first) budget.
+fn tightest_epoch_secs(doc: &Json) -> Option<(f64, f64)> {
+    let point = doc.get("budgets")?.as_array()?.first()?;
+    let policies = point.get("policies")?;
+    let secs = |name: &str| policies.get(name)?.get("epoch_secs")?.as_f64();
+    Some((secs("lru")?, secs("belady")?))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir = PathBuf::from("results/reports");
+    let mut baseline_dir = PathBuf::from("results/baselines");
+    let mut check = false;
+    let mut epsilon = 0.001f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" if i + 1 < args.len() => {
+                out_dir = PathBuf::from(&args[i + 1]);
+                i += 2;
+            }
+            "--baseline" if i + 1 < args.len() => {
+                baseline_dir = PathBuf::from(&args[i + 1]);
+                i += 2;
+            }
+            "--epsilon" if i + 1 < args.len() => {
+                epsilon = match args[i + 1].parse() {
+                    Ok(e) => e,
+                    Err(_) => usage(),
+                };
+                i += 2;
+            }
+            "--check" => {
+                check = true;
+                i += 1;
+            }
+            _ => usage(),
+        }
+    }
+
+    let outcome = match run_sweep() {
+        Ok(o) => o,
+        Err(e) => fail(&e),
+    };
+    if let Err(e) = validate_cache_sweep(&outcome.doc) {
+        fail(&format!("sweep produced an invalid artifact: {e}"));
+    }
+
+    let mut header: Vec<&str> = SWEEP_POLICIES.to_vec();
+    header.push("belady-lru");
+    match hit_rate_rows(&outcome.doc) {
+        Ok(rows) => print_table("cache_sweep hit rates by budget", &header, &rows),
+        Err(e) => fail(&e),
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        fail(&format!("create {}: {e}", out_dir.display()));
+    }
+    let bench = sweep_path(&out_dir);
+    if let Err(e) = std::fs::write(&bench, outcome.doc.to_json_string() + "\n") {
+        fail(&format!("write {}: {e}", bench.display()));
+    }
+    println!("artifact: {}", bench.display());
+    let trace = trace_artifact_path(&out_dir);
+    if let Err(e) = outcome.trace.save(&trace) {
+        fail(&format!("write {}: {e}", trace.display()));
+    }
+    println!(
+        "trace: {} ({} accesses)",
+        trace.display(),
+        outcome.trace.len()
+    );
+
+    if !check {
+        return;
+    }
+
+    // Gate 1: Belady must not cost wall time where misses dominate.
+    if let Some((lru_secs, belady_secs)) = tightest_epoch_secs(&outcome.doc) {
+        if belady_secs > lru_secs * 1.25 {
+            fail(&format!(
+                "belady replay at tightest budget took {belady_secs:.3}s vs lru {lru_secs:.3}s"
+            ));
+        }
+    }
+
+    // Gate 2: no hit-rate drop against the committed baseline.
+    let baseline_path = sweep_path(Path::new(&baseline_dir));
+    let text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => fail(&format!("baseline {}: {e}", baseline_path.display())),
+    };
+    let baseline = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => fail(&format!("baseline {}: {e}", baseline_path.display())),
+    };
+    match compare_cache_sweep(&baseline, &outcome.doc, epsilon) {
+        Ok(regs) if regs.is_empty() => {
+            println!("check: no hit-rate regressions beyond {epsilon}");
+        }
+        Ok(regs) => {
+            for r in &regs {
+                eprintln!("cache_sweep: {r}");
+            }
+            std::process::exit(1);
+        }
+        Err(e) => fail(&e),
+    }
+}

@@ -14,6 +14,8 @@
 //! and exits nonzero if any metric regressed beyond the threshold
 //! (default 0.5 = +50%; CI uses 3.0 to ride out shared-runner noise).
 
+use gnndrive_bench::cache_sweep::{compare_cache_sweep, hit_rate_delta_rows, sweep_path};
+use gnndrive_bench::print_table;
 use gnndrive_bench::trajectory::{bench_path, compare, run_scenario, suite, validate_bench};
 use gnndrive_telemetry::Json;
 use std::path::{Path, PathBuf};
@@ -98,6 +100,32 @@ fn cmd_compare(base_dir: &Path, new_dir: &Path, threshold: f64) {
         match compare(&base, &new, threshold) {
             Ok(regs) => regressions.extend(regs),
             Err(e) => fail(&format!("{}: {e}", ts.name)),
+        }
+    }
+    // When both directories carry a cache-sweep artifact, render the
+    // per-budget hit-rate drift alongside the stage diffs and fold any
+    // Belady hit-rate drop into the regression verdict.
+    let (base_sweep, new_sweep) = (sweep_path(base_dir), sweep_path(new_dir));
+    if base_sweep.is_file() && new_sweep.is_file() {
+        let base = match read_doc(&base_sweep) {
+            Ok(d) => d,
+            Err(e) => fail(&e),
+        };
+        let new = match read_doc(&new_sweep) {
+            Ok(d) => d,
+            Err(e) => fail(&e),
+        };
+        match hit_rate_delta_rows(&base, &new) {
+            Ok(rows) => print_table(
+                "cache_sweep hit-rate delta (baseline -> new)",
+                &["lru", "belady", "belady_packed"],
+                &rows,
+            ),
+            Err(e) => fail(&format!("cache_sweep: {e}")),
+        }
+        match compare_cache_sweep(&base, &new, 0.001) {
+            Ok(regs) => regressions.extend(regs),
+            Err(e) => fail(&format!("cache_sweep: {e}")),
         }
     }
     if regressions.is_empty() {

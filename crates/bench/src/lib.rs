@@ -22,6 +22,7 @@
 //!   `results/reports`; see [`artifacts`])
 
 pub mod artifacts;
+pub mod cache_sweep;
 pub mod report;
 pub mod scenario;
 pub mod serving;
@@ -29,6 +30,11 @@ pub mod trajectory;
 
 pub use artifacts::{
     collect_report, report_dir, scenario_desc, slug, write_report, PIPELINE_STAGES,
+};
+pub use cache_sweep::{
+    compare_cache_sweep, hit_rate_delta_rows, hit_rate_rows, run_sweep, sweep_path,
+    trace_artifact_path, validate_cache_sweep, SweepOutcome, CACHE_SWEEP_SCHEMA_VERSION,
+    SWEEP_BUDGET_FRACTIONS, SWEEP_POLICIES,
 };
 pub use report::{print_series, print_table, Row};
 pub use scenario::{

@@ -37,6 +37,12 @@ use std::sync::Arc;
 pub struct ExtractorContext {
     pub ssd: Arc<SimSsd>,
     pub features_file: FileHandle,
+    /// `node id → row index` into `features_file` when the feature table
+    /// was rewritten by the layout packer (`gnndrive-graph`'s
+    /// `pack_features`); `None` means the natural layout (row = node id).
+    /// Read planning sorts and coalesces by *row*, so a packed layout
+    /// turns hot-node scatter into dense prefix reads.
+    pub remap: Option<Arc<Vec<u32>>>,
     pub feat_dim: usize,
     pub fb: Arc<FeatureBufferManager>,
     /// `None` for CPU training (paper §4.4: CPU mode extracts straight into
@@ -139,26 +145,27 @@ pub struct ExtractedBatch {
 }
 
 /// One joint-extraction read: a contiguous SSD window covering the feature
-/// rows of one or more nodes.
+/// rows of one or more nodes. Each entry pairs the on-disk row index with
+/// the node it belongs to — distinct once a packed layout remaps rows.
 struct ReadGroup {
     window_start: u64,
     window_len: usize,
-    nodes: Vec<NodeId>,
+    rows: Vec<(u64, NodeId)>,
 }
 
-/// Plan the read windows for `nodes` (must be sorted by node id): align to
-/// sectors under direct I/O and coalesce nodes whose windows touch, up to
-/// `max_bytes` per request (paper §4.4 "Access Granularity").
+/// Plan the read windows for `rows` (`(row index, node)` pairs, sorted by
+/// row): align to sectors under direct I/O and coalesce rows whose windows
+/// touch, up to `max_bytes` per request (paper §4.4 "Access Granularity").
 fn plan_read_groups(
-    nodes: &[NodeId],
+    rows: &[(u64, NodeId)],
     row_bytes: u64,
     align: u64,
     max_bytes: usize,
     file_len: u64,
 ) -> Vec<ReadGroup> {
     let mut groups: Vec<ReadGroup> = Vec::new();
-    for &node in nodes {
-        let off = node as u64 * row_bytes;
+    for &(row, node) in rows {
+        let off = row * row_bytes;
         let (start, end) = if align > 1 {
             (
                 off / align * align,
@@ -175,22 +182,22 @@ fn plan_read_groups(
             let merged_len = (end - last.window_start) as usize;
             if start <= last_end && merged_len <= max_bytes {
                 last.window_len = last.window_len.max(merged_len);
-                last.nodes.push(node);
+                last.rows.push((row, node));
                 continue;
             }
         }
         groups.push(ReadGroup {
             window_start: start,
             window_len: (end - start) as usize,
-            nodes: vec![node],
+            rows: vec![(row, node)],
         });
     }
     groups
 }
 
-/// Decode node `node`'s feature row out of a group window buffer.
-fn row_from_window(buf: &[u8], window_start: u64, node: NodeId, row_bytes: u64) -> Vec<f32> {
-    let off = (node as u64 * row_bytes - window_start) as usize;
+/// Decode on-disk row `row` out of a group window buffer.
+fn row_from_window(buf: &[u8], window_start: u64, row: u64, row_bytes: u64) -> Vec<f32> {
+    let off = (row * row_bytes - window_start) as usize;
     let bytes = &buf[off..off + row_bytes as usize];
     bytes
         .chunks_exact(4)
@@ -279,8 +286,19 @@ fn extract_batch_inner(
         .map(|&(i, n)| (n, plan.aliases[i]))
         .collect();
 
-    // Sort by node id for coalescing and sequential-ish access.
-    let mut to_load: Vec<NodeId> = plan.to_load.iter().map(|&(_, n)| n).collect();
+    // Map nodes to on-disk rows (identity without a packed layout) and
+    // sort by row for coalescing and sequential-ish access.
+    let mut to_load: Vec<(u64, NodeId)> = plan
+        .to_load
+        .iter()
+        .map(|&(_, n)| {
+            let row = match &ctx.remap {
+                Some(r) => r[n as usize] as u64,
+                None => n as u64,
+            };
+            (row, n)
+        })
+        .collect();
     to_load.sort_unstable();
     let row_bytes = (ctx.feat_dim * 4) as u64;
     // Access granularity: 4 KiB under GPUDirect Storage (its hard
@@ -335,8 +353,8 @@ fn extract_batch_inner(
                 .transfer
                 .as_ref()
                 .map(|_| telemetry::span("transfer", sample.batch_id));
-            for &node in &group.nodes {
-                let row = row_from_window(&buf, group.window_start, node, row_bytes);
+            for &(disk_row, node) in &group.rows {
+                let row = row_from_window(&buf, group.window_start, disk_row, row_bytes);
                 if let Some(engine) = &ctx.transfer {
                     let _wait = telemetry::wait_timer(telemetry::WaitKind::TransferWait);
                     engine.pay_blocking(row_bytes);
@@ -421,8 +439,8 @@ fn extract_batch_inner(
                     retry
                 }
             };
-            for &node in &group.nodes {
-                let row = row_from_window(&buf, group.window_start, node, row_bytes);
+            for &(disk_row, node) in &group.rows {
+                let row = row_from_window(&buf, group.window_start, disk_row, row_bytes);
                 let slot = slot_of[&node];
                 match &ctx.transfer {
                     Some(engine) => {
@@ -626,6 +644,7 @@ mod tests {
         ExtractorContext {
             ssd: Arc::clone(&ds.ssd),
             features_file: ds.features_file,
+            remap: None,
             feat_dim: ds.spec.feat_dim,
             fb,
             staging: if gpu {
@@ -815,22 +834,33 @@ mod tests {
 
     #[test]
     fn read_group_planning_coalesces_neighbors() {
-        // dim 16 → 64 B rows; nodes 0..8 share sector 0.
-        let groups = plan_read_groups(&[0, 1, 2, 3], 64, 512, 4096, 1 << 20);
+        // dim 16 → 64 B rows; rows 0..8 share sector 0.
+        let rows: Vec<(u64, NodeId)> = vec![(0, 0), (1, 1), (2, 2), (3, 3)];
+        let groups = plan_read_groups(&rows, 64, 512, 4096, 1 << 20);
         assert_eq!(groups.len(), 1);
         assert_eq!(groups[0].window_start, 0);
         assert_eq!(groups[0].window_len, 512);
-        assert_eq!(groups[0].nodes, vec![0, 1, 2, 3]);
-        // A distant node gets its own group.
-        let groups = plan_read_groups(&[0, 100], 64, 512, 4096, 1 << 20);
+        assert_eq!(groups[0].rows, rows);
+        // A distant row gets its own group.
+        let groups = plan_read_groups(&[(0, 0), (100, 100)], 64, 512, 4096, 1 << 20);
         assert_eq!(groups.len(), 2);
+    }
+
+    /// A packed layout decouples row from node id: adjacent *rows* coalesce
+    /// even when their node ids are scattered, which is the whole point of
+    /// hot-first packing.
+    #[test]
+    fn read_group_planning_coalesces_remapped_rows() {
+        let groups = plan_read_groups(&[(0, 9131), (1, 4), (2, 777)], 64, 512, 4096, 1 << 20);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].rows, vec![(0, 9131), (1, 4), (2, 777)]);
     }
 
     #[test]
     fn read_group_clamps_at_eof_for_coarse_alignment() {
         // 512 B rows, 4 KiB (GDS) alignment, file of 3 sectors: the last
         // row's window must clamp to the file end.
-        let groups = plan_read_groups(&[2], 512, 4096, 1 << 20, 3 * 512);
+        let groups = plan_read_groups(&[(2, 2)], 512, 4096, 1 << 20, 3 * 512);
         assert_eq!(groups.len(), 1);
         assert_eq!(groups[0].window_start, 0);
         assert_eq!(groups[0].window_len, 3 * 512);
@@ -915,10 +945,37 @@ mod tests {
         ctx.fb.check_invariants();
     }
 
+    /// Extraction through a packed feature layout must return exactly the
+    /// rows the natural layout would: the remap points every node at its
+    /// relocated row, and the packed file's CRC shadows verify at the new
+    /// offsets — on both the async ring and the sync ablation path.
+    #[test]
+    fn packed_layout_extracts_identical_rows() {
+        use gnndrive_graph::pack_features;
+        let ds = tiny_dataset(64);
+        let n = ds.spec.num_nodes;
+        // Reverse-id frequency: the packed order is the exact reverse of
+        // the natural one, so every row moves.
+        let freq: Vec<u64> = (0..n as u64).collect();
+        let first = vec![0u64; n];
+        let layout = pack_features(&ds, &freq, &first);
+        assert_ne!(layout.row_of(0), 0, "packing must actually move rows");
+        for sync in [false, true] {
+            let mut ctx = context(&ds, true, true);
+            ctx.features_file = layout.file;
+            ctx.remap = Some(Arc::clone(&layout.remap));
+            ctx.sync_extract = sync;
+            let sample = sample_of(&ds, &[1, 2, 3, 4, 5]);
+            let batch = extract_batch(&ctx, sample).unwrap();
+            verify_rows(&ds, &batch, &ctx.fb);
+            ctx.fb.check_invariants();
+        }
+    }
+
     #[test]
     fn read_group_respects_max_bytes() {
-        // 512 B rows, adjacent nodes, 1 KiB cap → pairs.
-        let groups = plan_read_groups(&[0, 1, 2, 3], 512, 512, 1024, 1 << 20);
+        // 512 B rows, adjacent rows, 1 KiB cap → pairs.
+        let groups = plan_read_groups(&[(0, 0), (1, 1), (2, 2), (3, 3)], 512, 512, 1024, 1 << 20);
         assert_eq!(groups.len(), 2);
         assert!(groups.iter().all(|g| g.window_len <= 1024));
     }

@@ -18,7 +18,7 @@ use crate::feature_buffer::FeatureBufferManager;
 use crate::staging::StagingBuffer;
 use crate::system::{evaluate_model, EpochReport, TrainingSystem};
 use gnndrive_device::{DeviceAlloc, FeatureSlab, GpuDevice};
-use gnndrive_graph::{Dataset, NodeId};
+use gnndrive_graph::{Dataset, FeatureLayout, NodeId};
 use gnndrive_nn::{build_model, GnnModel};
 use gnndrive_sampling::{BatchPlan, MiniBatchSample, MmapTopo, NeighborSampler, TopoReader};
 use gnndrive_storage::{DeviceHealth, IoPriority, MemCharge, MemoryGovernor, OomError, PageCache};
@@ -107,6 +107,9 @@ pub struct Pipeline {
     /// Device-health tracker / circuit breaker shared by every extractor
     /// (and inference) against this pipeline's SSD.
     health: Arc<DeviceHealth>,
+    /// Packed on-disk feature layout, when the builder installed one;
+    /// `None` reads the dataset's natural node-id-ordered file.
+    feature_layout: Option<FeatureLayout>,
     /// Bottleneck attribution of the most recent epoch, kept so callers
     /// that only see the [`TrainingSystem`] trait (the CLI, harness bins)
     /// can still fold the verdict into their run reports.
@@ -118,6 +121,9 @@ pub struct Pipeline {
 pub enum BuildError {
     HostOom(OomError),
     DeviceOom(gnndrive_device::DeviceOom),
+    /// The builder's [`FeatureLayout`] does not describe this dataset's
+    /// feature table (wrong remap length, row width, or file length).
+    BadLayout(String),
 }
 
 impl std::fmt::Display for BuildError {
@@ -125,6 +131,7 @@ impl std::fmt::Display for BuildError {
         match self {
             BuildError::HostOom(e) => write!(f, "host {e}"),
             BuildError::DeviceOom(e) => write!(f, "{e}"),
+            BuildError::BadLayout(why) => write!(f, "bad feature layout: {why}"),
         }
     }
 }
@@ -134,6 +141,7 @@ impl std::error::Error for BuildError {
         match self {
             BuildError::HostOom(e) => Some(e),
             BuildError::DeviceOom(e) => Some(e),
+            BuildError::BadLayout(_) => None,
         }
     }
 }
@@ -165,7 +173,30 @@ impl Pipeline {
             gpu_mode,
             governor,
             page_cache,
+            feature_layout,
         } = b;
+        if let Some(layout) = &feature_layout {
+            if layout.remap.len() != ds.spec.num_nodes {
+                return Err(BuildError::BadLayout(format!(
+                    "remap covers {} nodes, dataset has {}",
+                    layout.remap.len(),
+                    ds.spec.num_nodes
+                )));
+            }
+            if layout.row_bytes != ds.spec.feature_row_bytes() {
+                return Err(BuildError::BadLayout(format!(
+                    "layout row is {} B, dataset rows are {} B",
+                    layout.row_bytes,
+                    ds.spec.feature_row_bytes()
+                )));
+            }
+            if layout.file.len != ds.features_file.len {
+                return Err(BuildError::BadLayout(format!(
+                    "packed file is {} B, feature table is {} B",
+                    layout.file.len, ds.features_file.len
+                )));
+            }
+        }
         let governor = governor.unwrap_or_else(MemoryGovernor::unlimited);
         let page_cache = page_cache
             .unwrap_or_else(|| PageCache::new(Arc::clone(&ds.ssd), Arc::clone(&governor)));
@@ -234,6 +265,7 @@ impl Pipeline {
             _host_charges: host_charges,
             train_segment,
             health,
+            feature_layout,
             last_attribution: None,
         })
     }
@@ -274,7 +306,12 @@ impl Pipeline {
     fn extractor_context(&self, io_priority: IoPriority) -> ExtractorContext {
         ExtractorContext {
             ssd: Arc::clone(&self.ds.ssd),
-            features_file: self.ds.features_file,
+            features_file: self
+                .feature_layout
+                .as_ref()
+                .map(|l| l.file)
+                .unwrap_or(self.ds.features_file),
+            remap: self.feature_layout.as_ref().map(|l| Arc::clone(&l.remap)),
             feat_dim: self.ds.spec.feat_dim,
             fb: Arc::clone(&self.fb),
             staging: self.staging.clone(),

@@ -56,6 +56,7 @@
 //! (Healthy → Degraded → CircuitOpen with half-open probes).
 
 pub mod error;
+pub mod eviction;
 pub mod fault;
 pub mod governor;
 pub mod health;
@@ -67,8 +68,10 @@ pub mod ring;
 pub mod scrub;
 pub mod ssd;
 pub mod stats;
+pub mod trace;
 
 pub use error::{IoError, OomError};
+pub use eviction::{BeladyPolicy, EvictionPolicy, LruPolicy, PageKey};
 pub use fault::{FaultInjector, FaultPlan, FaultVerdict, SilentCorruption};
 pub use governor::{ChargeKind, Lane, MemCharge, MemoryGovernor, MemoryReclaimer};
 pub use health::{Admission, DeviceHealth, HealthConfig, HealthState};
@@ -82,3 +85,4 @@ pub use ssd::{
     Completion, FileHandle, IoOp, IoPriority, ScrubChunk, SimSsd, SsdProfile, SECTOR_SIZE,
 };
 pub use stats::{IoStats, IoStatsSnapshot};
+pub use trace::{pages_for_rows, AccessTrace, TraceError, TRACE_VERSION};

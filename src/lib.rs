@@ -39,8 +39,10 @@ pub mod prelude {
     };
 
     // Graph data and sampling.
-    pub use gnndrive_graph::{Dataset, DatasetSpec, MiniDataset, NodeId};
-    pub use gnndrive_sampling::{InMemTopo, NeighborSampler};
+    pub use gnndrive_graph::{
+        pack_features, Dataset, DatasetSpec, FeatureLayout, MiniDataset, NodeId,
+    };
+    pub use gnndrive_sampling::{presample_epoch, InMemTopo, NeighborSampler, PresampleResult};
 
     // Device and model.
     pub use gnndrive_device::{FeatureSlab, GpuDevice};
@@ -48,8 +50,9 @@ pub mod prelude {
 
     // Storage stack: simulated SSD, memory admission, faults and health.
     pub use gnndrive_storage::{
-        crc32, DeviceHealth, FaultPlan, HealthConfig, HealthState, IoPriority, IoRing, Lane,
-        MemoryGovernor, PageCache, RetryPolicy, SimSsd, SsdProfile,
+        crc32, AccessTrace, BeladyPolicy, DeviceHealth, EvictionPolicy, FaultPlan, HealthConfig,
+        HealthState, IoPriority, IoRing, Lane, LruPolicy, MemoryGovernor, PageCache, RetryPolicy,
+        SimSsd, SsdProfile,
     };
 
     // Online serving tier.

@@ -312,6 +312,7 @@ fn corruption_detection_is_deterministic_and_rows_checksum_clean() {
         let ctx = ExtractorContext {
             ssd: Arc::clone(&ds.ssd),
             features_file: ds.features_file,
+            remap: None,
             feat_dim: ds.spec.feat_dim,
             fb: Arc::clone(&fb),
             staging: None,

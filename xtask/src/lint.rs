@@ -867,6 +867,22 @@ const KNOWN_STORAGE_LANE_METRICS: [&str; 4] = [
     "storage.queue.lane.serve_wait_ns",
     "storage.queue.lane.bulk_wait_ns",
 ];
+/// The page-cache replacement-policy namespace (DESIGN.md §13): one
+/// eviction counter per policy, plus Belady's fallback accounting for
+/// pages its trace never saw.
+const KNOWN_CACHE_POLICY_METRICS: [&str; 4] = [
+    "storage.cache.policy.lru.evictions",
+    "storage.cache.policy.belady.evictions",
+    "storage.cache.policy.belady.lru_fallbacks",
+    "storage.cache.policy.belady.off_trace_accesses",
+];
+/// The access-trace lifecycle counters (DESIGN.md §13): entries recorded
+/// by a tracing page cache, artifacts saved, artifacts loaded.
+const KNOWN_STORAGE_TRACE_METRICS: [&str; 3] = [
+    "storage.trace.recorded",
+    "storage.trace.saved",
+    "storage.trace.loaded",
+];
 /// The serving tier's closed namespace: admission counters, micro-batch
 /// accounting, the SLO violation tally, the latency/queue/service
 /// histograms, and the queue-depth gauge (DESIGN.md §11).
@@ -906,6 +922,20 @@ fn closed_set_violation(name: &str) -> Option<&'static str> {
         return Some(
             "`storage.queue.*` is the closed SimSsd queue/service split; extend \
              KNOWN_STORAGE_QUEUE_METRICS in xtask alongside the stats counters",
+        );
+    }
+    if name.starts_with("storage.cache.policy.") && !KNOWN_CACHE_POLICY_METRICS.contains(&name) {
+        return Some(
+            "`storage.cache.policy.*` is the closed replacement-policy namespace \
+             (DESIGN.md §13); extend KNOWN_CACHE_POLICY_METRICS in xtask alongside \
+             the EvictionPolicy impl's counters",
+        );
+    }
+    if name.starts_with("storage.trace.") && !KNOWN_STORAGE_TRACE_METRICS.contains(&name) {
+        return Some(
+            "`storage.trace.*` is the closed access-trace lifecycle set \
+             (DESIGN.md §13); extend KNOWN_STORAGE_TRACE_METRICS in xtask \
+             alongside the AccessTrace/PageCache counters",
         );
     }
     if name.starts_with("serve.") && !KNOWN_SERVE_METRICS.contains(&name) {
@@ -1179,6 +1209,33 @@ mod tests {
         let src = "fn f() { telemetry::counter(\"serve.request\"); }\n";
         assert_eq!(rules(src), vec!["metric-name"]);
         let src = "fn f() { telemetry::histogram_ns(\"serve.p99\"); }\n";
+        assert_eq!(rules(src), vec!["metric-name"]);
+    }
+
+    #[test]
+    fn cache_policy_namespace_is_a_closed_set() {
+        // Every member of the replacement-policy set is accepted …
+        let src = "fn f() {\n    \
+                   telemetry::counter(\"storage.cache.policy.lru.evictions\");\n    \
+                   telemetry::counter(\"storage.cache.policy.belady.evictions\");\n    \
+                   telemetry::counter(\"storage.cache.policy.belady.lru_fallbacks\");\n    \
+                   telemetry::counter(\"storage.cache.policy.belady.off_trace_accesses\");\n}\n";
+        assert!(rules(src).is_empty());
+        // … a typo'd member is flagged even though it is well-formed …
+        let src = "fn f() { telemetry::counter(\"storage.cache.policy.lru.eviction\"); }\n";
+        assert_eq!(rules(src), vec!["metric-name"]);
+        // … and so is a policy the set has never heard of.
+        let src = "fn f() { telemetry::counter(\"storage.cache.policy.fifo.evictions\"); }\n";
+        assert_eq!(rules(src), vec!["metric-name"]);
+    }
+
+    #[test]
+    fn storage_trace_namespace_is_a_closed_set() {
+        let src = "fn f() {\n    telemetry::counter(\"storage.trace.recorded\");\n    \
+                   telemetry::counter(\"storage.trace.saved\");\n    \
+                   telemetry::counter(\"storage.trace.loaded\");\n}\n";
+        assert!(rules(src).is_empty());
+        let src = "fn f() { telemetry::counter(\"storage.trace.record\"); }\n";
         assert_eq!(rules(src), vec!["metric-name"]);
     }
 
