@@ -180,7 +180,7 @@ pub fn run_sweep_with_profile(profile: SsdProfile) -> Result<SweepOutcome, Strin
     }
     let row_bytes = ds.spec.feature_row_bytes() as u64;
     let trace = trace_of_schedule(&pre, ds.features_file, row_bytes, |n| n as u64);
-    let layout = pack_features(&ds, &pre.freq, &pre.first_seen);
+    let layout = pack_features(&ds, &pre.freq, &pre.first_seen).map_err(|e| e.to_string())?;
     let packed_trace = trace_of_schedule(&pre, layout.file, row_bytes, |n| layout.row_of(n));
 
     let unique = trace.unique_pages();

@@ -23,6 +23,7 @@
 
 pub mod artifacts;
 pub mod cache_sweep;
+pub mod crashsim;
 pub mod report;
 pub mod scenario;
 pub mod serving;
@@ -35,6 +36,10 @@ pub use cache_sweep::{
     compare_cache_sweep, hit_rate_delta_rows, hit_rate_rows, run_sweep, sweep_path,
     trace_artifact_path, validate_cache_sweep, SweepOutcome, CACHE_SWEEP_SCHEMA_VERSION,
     SWEEP_BUDGET_FRACTIONS, SWEEP_POLICIES,
+};
+pub use crashsim::{
+    crash_sweep_path, run_crash_sweep, sweep_doc, validate_crash_sweep, CrashSweepOutcome,
+    ScheduleOutcome, CRASH_SWEEP_SCHEMA_VERSION,
 };
 pub use report::{print_series, print_table, Row};
 pub use scenario::{

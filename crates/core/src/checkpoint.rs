@@ -12,6 +12,7 @@
 
 use crate::error::Error;
 use gnndrive_storage::{crc32, FileHandle, SimSsd};
+use gnndrive_telemetry as telemetry;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -46,6 +47,14 @@ pub enum CheckpointError {
     Blob(String),
     /// Host filesystem I/O failed while reading or writing the container.
     HostIo { path: String, detail: String },
+    /// The on-SSD slot was allocated but its commit record (the length
+    /// header) was never published — the writer died between shadow-write
+    /// and publish. The slot holds no checkpoint; recovery falls back to
+    /// an older one.
+    Unpublished,
+    /// A simulated crash schedule cut persistence at the named crash
+    /// point (testing only; never produced in production runs).
+    Crashed { point: String },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -77,11 +86,27 @@ impl std::fmt::Display for CheckpointError {
             }
             CheckpointError::Blob(msg) => write!(f, "checkpoint blob rejected: {msg}"),
             CheckpointError::HostIo { path, detail } => write!(f, "{path}: {detail}"),
+            CheckpointError::Unpublished => {
+                write!(f, "checkpoint slot was never published (no commit record)")
+            }
+            CheckpointError::Crashed { point } => {
+                write!(f, "checkpoint persistence cut by crash schedule at {point:?}")
+            }
         }
     }
 }
 
 impl std::error::Error for CheckpointError {}
+
+/// A crash point on the SSD persistence path, surfaced as a typed
+/// [`CheckpointError::Crashed`] when an armed schedule cuts there.
+fn ssd_point(name: &str) -> Result<(), Error> {
+    telemetry::crash::point(name).map_err(|cut| {
+        Error::Checkpoint(CheckpointError::Crashed {
+            point: cut.point.clone(),
+        })
+    })
+}
 
 /// A frozen training state: resume point plus model and optimizer blobs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -157,28 +182,68 @@ impl TrainCheckpoint {
         })
     }
 
-    /// Persist through the storage stack: allocate a file on `ssd` and
-    /// write an 8-byte length header plus the container with buffered
-    /// blocking writes (so checkpointing pays the device's modeled cost
-    /// and is exposed to its fault plan like any other I/O).
+    /// Persist through the storage stack, crash-atomically: shadow-write
+    /// the container at offset 8 of a freshly allocated file, flush, and
+    /// only then publish it by writing the 8-byte length header at offset
+    /// 0 (the commit record) and flushing again. A freshly created file's
+    /// header reads as zero, so a crash or power cut anywhere before the
+    /// final flush leaves the slot typed-[`CheckpointError::Unpublished`]
+    /// (or detectably torn) — never a slot that deserializes garbage.
+    /// Checkpoint I/O still goes through blocking writes, so it pays the
+    /// device's modeled cost and is exposed to its fault plan like any
+    /// other I/O.
     pub fn write_to_ssd(&self, ssd: &Arc<SimSsd>) -> Result<FileHandle, Error> {
-        let blob = self.to_bytes();
-        let file = ssd.create_file(8 + blob.len() as u64);
-        ssd.write_blocking(file, 0, &(blob.len() as u64).to_le_bytes(), false)
-            .map_err(Error::Io)?;
-        ssd.write_blocking(file, 8, &blob, false)
-            .map_err(Error::Io)?;
+        let file = ssd.create_file(8 + self.to_bytes().len() as u64);
+        self.write_to_slot(ssd, file)?;
         Ok(file)
     }
 
-    /// Read back a [`TrainCheckpoint::write_to_ssd`] file. The device
-    /// bytes are checksum-verified (catching silent media corruption)
-    /// before the container's own CRC footer is validated.
+    /// Persist into a pre-allocated slot file — the crash-recoverable
+    /// protocol: a restart only needs the fixed slot directory (handles
+    /// allocated before any crash window opens), never a handle returned
+    /// by a write that may have died.
+    ///
+    /// Ordering: the slot's commit record is zeroed and the invalidation
+    /// flushed *before* the new blob overwrites the old occupant's bytes
+    /// (so a slot is never published while holding mixed generations),
+    /// then shadow-write the blob, flush, and only then publish by
+    /// writing the length header and flushing again. A power cut in any
+    /// window leaves the slot typed-[`CheckpointError::Unpublished`] or
+    /// detectably torn — never deserializable garbage.
+    pub fn write_to_slot(&self, ssd: &Arc<SimSsd>, slot: FileHandle) -> Result<(), Error> {
+        let blob = self.to_bytes();
+        if (blob.len() as u64).saturating_add(8) > slot.len {
+            return Err(Error::Checkpoint(CheckpointError::BadLengths));
+        }
+        ssd_point("checkpoint.ssd.begin")?;
+        ssd.write_blocking(slot, 0, &[0u8; 8], false)
+            .map_err(Error::Io)?;
+        ssd.flush(slot);
+        ssd.write_blocking(slot, 8, &blob, false)
+            .map_err(Error::Io)?;
+        ssd_point("checkpoint.ssd.blob")?;
+        ssd.flush(slot);
+        ssd_point("checkpoint.ssd.flushed")?;
+        ssd.write_blocking(slot, 0, &(blob.len() as u64).to_le_bytes(), false)
+            .map_err(Error::Io)?;
+        ssd.flush(slot);
+        ssd_point("checkpoint.ssd.publish")?;
+        Ok(())
+    }
+
+    /// Read back a [`TrainCheckpoint::write_to_ssd`] file. The commit
+    /// record is checked first (a zero header means the slot was never
+    /// published), then the device bytes are checksum-verified (catching
+    /// silent media corruption), then the container's own CRC footer is
+    /// validated.
     pub fn read_from_ssd(ssd: &Arc<SimSsd>, file: FileHandle) -> Result<Self, Error> {
         let mut len = [0u8; 8];
         ssd.read_blocking(file, 0, &mut len, false)
             .map_err(Error::Io)?;
         let len = u64::from_le_bytes(len);
+        if len == 0 {
+            return Err(Error::Checkpoint(CheckpointError::Unpublished));
+        }
         if len.saturating_add(8) > file.len {
             return Err(Error::Checkpoint(CheckpointError::BadLengths));
         }
@@ -190,10 +255,31 @@ impl TrainCheckpoint {
         Ok(Self::from_bytes(&blob)?)
     }
 
+    /// Scan checkpoint slots newest-to-oldest and return the most recent
+    /// one that reads back intact, with its index in `files`. Slots whose
+    /// writer died mid-persist (unpublished, torn, CRC-mismatched) are
+    /// skipped — each is a typed error, so recovery degrades to the last
+    /// durable checkpoint instead of deserializing damage. Bumps
+    /// `storage.crash.recoveries` on success.
+    pub fn recover_from_ssd(
+        ssd: &Arc<SimSsd>,
+        files: &[FileHandle],
+    ) -> Option<(usize, TrainCheckpoint)> {
+        for (i, &file) in files.iter().enumerate().rev() {
+            if let Ok(ck) = Self::read_from_ssd(ssd, file) {
+                telemetry::crash::note_recovery();
+                return Some((i, ck));
+            }
+        }
+        None
+    }
+
     /// Write the container to a host filesystem path (the CLI's
-    /// `--checkpoint-every` output).
+    /// `--checkpoint-every` output). Crash-atomic: staged to a durable
+    /// temp file and renamed into place, so `path` is only ever the
+    /// complete old or complete new checkpoint.
     pub fn save_file(&self, path: &Path) -> Result<(), Error> {
-        std::fs::write(path, self.to_bytes()).map_err(|e| {
+        telemetry::atomic_write_file("checkpoint.host", path, &self.to_bytes()).map_err(|e| {
             Error::Checkpoint(CheckpointError::HostIo {
                 path: format!("write {}", path.display()),
                 detail: e.to_string(),
@@ -290,6 +376,44 @@ mod tests {
         let ck = sample();
         let file = ck.write_to_ssd(&ssd).unwrap();
         assert_eq!(TrainCheckpoint::read_from_ssd(&ssd, file).unwrap(), ck);
+    }
+
+    #[test]
+    fn slot_reuse_replaces_previous_occupant() {
+        let ssd = SimSsd::new(SsdProfile::instant());
+        let a = sample();
+        let slot = a.write_to_ssd(&ssd).unwrap();
+        let mut b = sample();
+        b.next_batch = 99;
+        b.write_to_slot(&ssd, slot).unwrap();
+        assert_eq!(TrainCheckpoint::read_from_ssd(&ssd, slot).unwrap(), b);
+        // A blob too large for the slot is refused before any write.
+        let mut fat = sample();
+        fat.model = vec![0u8; slot.len as usize];
+        assert!(matches!(
+            fat.write_to_slot(&ssd, slot),
+            Err(Error::Checkpoint(CheckpointError::BadLengths))
+        ));
+        assert_eq!(TrainCheckpoint::read_from_ssd(&ssd, slot).unwrap(), b);
+    }
+
+    #[test]
+    fn recovery_scans_to_newest_published_slot() {
+        let ssd = SimSsd::new(SsdProfile::instant());
+        let older = sample();
+        let mut newer = sample();
+        newer.next_batch = 40;
+        let blob_len = 8 + older.to_bytes().len() as u64;
+        let slots: Vec<FileHandle> = (0..3).map(|_| ssd.create_file(blob_len)).collect();
+        older.write_to_slot(&ssd, slots[0]).unwrap();
+        newer.write_to_slot(&ssd, slots[1]).unwrap();
+        // slots[2] was allocated but never published: it must be skipped.
+        assert!(matches!(
+            TrainCheckpoint::read_from_ssd(&ssd, slots[2]),
+            Err(Error::Checkpoint(CheckpointError::Unpublished))
+        ));
+        let (idx, ck) = TrainCheckpoint::recover_from_ssd(&ssd, &slots).unwrap();
+        assert_eq!((idx, ck), (1, newer));
     }
 
     #[test]

@@ -958,7 +958,7 @@ mod tests {
         // the natural one, so every row moves.
         let freq: Vec<u64> = (0..n as u64).collect();
         let first = vec![0u64; n];
-        let layout = pack_features(&ds, &freq, &first);
+        let layout = pack_features(&ds, &freq, &first).expect("pack");
         assert_ne!(layout.row_of(0), 0, "packing must actually move rows");
         for sync in [false, true] {
             let mut ctx = context(&ds, true, true);

@@ -160,7 +160,14 @@ impl Dataset {
     /// Persist the dataset to a host directory (spec as key=value text,
     /// host-resident arrays and the two SSD images as raw little-endian
     /// binaries). Lets long sweeps reuse built datasets across processes.
+    ///
+    /// Every artifact is written crash-atomically (staged, fsynced,
+    /// renamed), so a crash mid-save leaves each file either complete or
+    /// absent — `load_from_dir`'s length validation then rejects the
+    /// directory as a whole if the set is incomplete, instead of
+    /// misparsing a truncated binary.
     pub fn save_to_dir(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        use gnndrive_telemetry::atomic_write_file;
         std::fs::create_dir_all(dir)?;
         let s = &self.spec;
         let spec_text = format!(
@@ -176,21 +183,21 @@ impl Dataset {
             s.train_fraction,
             s.seed
         );
-        std::fs::write(dir.join("spec.txt"), spec_text)?;
+        atomic_write_file("dataset.spec", &dir.join("spec.txt"), spec_text.as_bytes())?;
         let dump_u64 = |v: &[u64]| -> Vec<u8> { v.iter().flat_map(|x| x.to_le_bytes()).collect() };
         let dump_u32 = |v: &[u32]| -> Vec<u8> { v.iter().flat_map(|x| x.to_le_bytes()).collect() };
-        std::fs::write(dir.join("indptr.bin"), dump_u64(&self.indptr))?;
-        std::fs::write(dir.join("labels.bin"), dump_u32(&self.labels))?;
-        std::fs::write(dir.join("train.bin"), dump_u32(&self.train_idx))?;
-        std::fs::write(dir.join("val.bin"), dump_u32(&self.val_idx))?;
+        atomic_write_file("dataset.indptr", &dir.join("indptr.bin"), &dump_u64(&self.indptr))?;
+        atomic_write_file("dataset.labels", &dir.join("labels.bin"), &dump_u32(&self.labels))?;
+        atomic_write_file("dataset.train", &dir.join("train.bin"), &dump_u32(&self.train_idx))?;
+        atomic_write_file("dataset.val", &dir.join("val.bin"), &dump_u32(&self.val_idx))?;
         // SSD images, chunked through the untimed peek path.
-        for (fname, handle) in [
-            ("indices.bin", self.indices_file),
-            ("features.bin", self.features_file),
+        for (fname, tag, handle) in [
+            ("indices.bin", "dataset.indices", self.indices_file),
+            ("features.bin", "dataset.features", self.features_file),
         ] {
             let mut out = vec![0u8; handle.len as usize];
             self.ssd.peek(handle, 0, &mut out).expect("peek image");
-            std::fs::write(dir.join(fname), out)?;
+            atomic_write_file(tag, &dir.join(fname), &out)?;
         }
         Ok(())
     }

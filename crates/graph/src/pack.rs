@@ -17,6 +17,7 @@
 use crate::dataset::Dataset;
 use crate::NodeId;
 use gnndrive_storage::FileHandle;
+use gnndrive_telemetry as telemetry;
 use std::sync::Arc;
 
 /// A (possibly re-ordered) on-disk feature table: the file plus the
@@ -65,7 +66,17 @@ impl FeatureLayout {
 /// `freq[v]` and `first_seen[v]` come from an offline pre-sampling pass
 /// (`gnndrive-sampling`'s `presample_epoch`); nodes the epoch never
 /// touches sort last in id order, keeping the permutation total.
-pub fn pack_features(ds: &Dataset, freq: &[u64], first_seen: &[u64]) -> FeatureLayout {
+///
+/// The rewrite is restart-safe by construction: it builds a *new* file
+/// and only hands out its handle on success, so a crash mid-pack (each
+/// ~4 MiB import chunk is a `pack.import` crash point) strands a
+/// half-filled orphan file while every existing layout stays valid — the
+/// caller simply re-packs after restart.
+pub fn pack_features(
+    ds: &Dataset,
+    freq: &[u64],
+    first_seen: &[u64],
+) -> std::io::Result<FeatureLayout> {
     let n = ds.spec.num_nodes;
     assert_eq!(freq.len(), n, "freq table must cover every node");
     assert_eq!(first_seen.len(), n, "first_seen table must cover every node");
@@ -93,22 +104,23 @@ pub fn pack_features(ds: &Dataset, freq: &[u64], first_seen: &[u64]) -> FeatureL
     for (new_row, &node) in order.iter().enumerate() {
         ds.ssd
             .peek(ds.features_file, (node as u64) * row_bytes as u64, &mut row)
-            .expect("source feature row readable");
+            .map_err(std::io::Error::other)?;
         chunk.extend_from_slice(&row);
         if chunk.len() >= rows_per_chunk * row_bytes || new_row + 1 == n {
+            telemetry::crash::io_point("pack.import")?;
             ds.ssd
                 .import(file, (chunk_start_row * row_bytes) as u64, &chunk)
-                .expect("packed feature import");
+                .map_err(std::io::Error::other)?;
             chunk_start_row = new_row + 1;
             chunk.clear();
         }
     }
     debug_assert!(is_permutation(&remap));
-    FeatureLayout {
+    Ok(FeatureLayout {
         file,
         remap: Arc::new(remap),
         row_bytes,
-    }
+    })
 }
 
 fn is_permutation(remap: &[u32]) -> bool {
@@ -158,7 +170,7 @@ mod tests {
         first[7] = 0;
         first[3] = 2;
         first[11] = 1;
-        let layout = pack_features(&ds, &freq, &first);
+        let layout = pack_features(&ds, &freq, &first).expect("pack");
         assert!(is_permutation(&layout.remap));
         assert_eq!(layout.row_of(7), 0, "hottest node gets row 0");
         // Equal freq: earlier first use wins.
@@ -179,7 +191,7 @@ mod tests {
         let n = ds.spec.num_nodes;
         let freq: Vec<u64> = (0..n as u64).map(|v| v * 7 % 13).collect();
         let first: Vec<u64> = (0..n as u64).map(|v| v % 5).collect();
-        let layout = pack_features(&ds, &freq, &first);
+        let layout = pack_features(&ds, &freq, &first).expect("pack");
         let rb = layout.row_bytes;
         for v in 0..n as u32 {
             let mut packed = vec![0u8; rb];

@@ -28,5 +28,5 @@ pub mod topo;
 pub use batches::BatchPlan;
 pub use block::{Block, MiniBatchSample};
 pub use neighbor::{NeighborSampler, SamplingPolicy};
-pub use presample::{presample_epoch, PresampleResult};
+pub use presample::{presample_epoch, PresampleResult, ScheduleError};
 pub use topo::{InMemTopo, MmapTopo, NeighborCacheTopo, TopoReader};

@@ -53,7 +53,11 @@
 //! so hosts catch silent corruption at every read boundary, a
 //! [`Scrubber`] repairs latent media damage in the background, and
 //! [`DeviceHealth`] turns sustained error rates into a circuit breaker
-//! (Healthy → Degraded → CircuitOpen with half-open probes).
+//! (Healthy → Degraded → CircuitOpen with half-open probes). A volatile
+//! write-back cache extends the fault model to power loss: serviced
+//! writes are durable only after a [`SimSsd::flush`] barrier, and a
+//! seeded [`SimSsd::power_cut`] keeps, drops, or tears whatever was
+//! still pending (see [`wcache`]).
 
 pub mod error;
 pub mod eviction;
@@ -69,6 +73,7 @@ pub mod scrub;
 pub mod ssd;
 pub mod stats;
 pub mod trace;
+pub mod wcache;
 
 pub use error::{IoError, OomError};
 pub use eviction::{BeladyPolicy, EvictionPolicy, LruPolicy, PageKey};
@@ -86,3 +91,4 @@ pub use ssd::{
 };
 pub use stats::{IoStats, IoStatsSnapshot};
 pub use trace::{pages_for_rows, AccessTrace, TraceError, TRACE_VERSION};
+pub use wcache::PowerCutReport;

@@ -18,9 +18,10 @@
 //! reads copy bytes out of the image into the request buffer.
 
 use crate::error::IoError;
-use crate::fault::{FaultInjector, FaultPlan, FaultVerdict, SilentCorruption};
+use crate::fault::{mix_unit, FaultInjector, FaultPlan, FaultVerdict, SilentCorruption};
 use crate::integrity::{crc32, IntegrityError, SectorChecksums};
 use crate::stats::IoStats;
+use crate::wcache::{DirtySector, PowerCutReport, WriteCache};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use gnndrive_sync::{LockRank, OrderedMutex, OrderedRwLock};
 use gnndrive_telemetry as telemetry;
@@ -277,6 +278,9 @@ struct Shared {
     /// Intent ledger + quarantine set; always acquired *after* `image`
     /// (same rank — equal-rank nesting is allowed, order is conventional).
     integrity: OrderedMutex<IntegrityState>,
+    /// Volatile write-back cache undo log; always acquired *after*
+    /// `integrity` (same conventional ordering).
+    wcache: OrderedMutex<WriteCache>,
     im: IntegrityCounters,
     stats: IoStats,
     /// Global bandwidth reservation cursor: the instant the device link is
@@ -340,6 +344,7 @@ impl SimSsd {
             ),
             files: OrderedMutex::new(LockRank::Storage, Vec::new()),
             integrity: OrderedMutex::new(LockRank::Storage, IntegrityState::default()),
+            wcache: OrderedMutex::new(LockRank::Storage, WriteCache::new()),
             im: IntegrityCounters::new(),
             stats: IoStats::default(),
             bw_cursor: OrderedMutex::new(LockRank::Storage, Instant::now()),
@@ -462,11 +467,16 @@ impl SimSsd {
         img.crcs.refresh(&img.bytes, base, end);
         // An import is a complete legitimate write: it heals fenced sectors.
         let sec = SECTOR_SIZE as usize;
+        let lo = (base / sec) as u64;
+        let hi = ((end - 1) / sec) as u64 + 1;
         let mut st = self.shared.integrity.lock();
-        for s in (base / sec) as u64..=((end - 1) / sec) as u64 {
+        for s in lo..hi {
             st.quarantined.remove(&s);
             st.intents.remove(&s);
         }
+        // Imports bypass the write cache entirely (dataset installation is
+        // durable by definition), superseding any unflushed state.
+        self.shared.wcache.lock().write_through(lo, hi);
         Ok(())
     }
 
@@ -545,6 +555,13 @@ impl SimSsd {
     /// with no ledger entry are unrecoverable and stay fenced. Driven by
     /// [`crate::Scrubber`], but callable directly for tests and tools.
     pub fn scrub_chunk(&self, start_sector: u64, max_sectors: u64) -> ScrubChunk {
+        // Crash-schedule coverage for ledger repair: a cut here models the
+        // process dying mid scrub pass. Repair is idempotent and media
+        // state is only ever improved sector-at-a-time under the image
+        // lock, so aborting the pass wholesale is always safe.
+        if telemetry::crash::point("scrub.repair").is_err() {
+            return ScrubChunk::default();
+        }
         let mut image = self.shared.image.write();
         let total = image.crcs.sectors() as u64;
         let start = start_sector.min(total);
@@ -562,6 +579,7 @@ impl SimSsd {
         let sec = SECTOR_SIZE as usize;
         let DiskImage { bytes, crcs } = &mut *image;
         let mut st = self.shared.integrity.lock();
+        let mut wc = self.shared.wcache.lock();
         for s in start..end {
             let lo = s as usize * sec;
             if crc32(&bytes[lo..lo + sec]) == crcs.get(s as usize) {
@@ -571,6 +589,9 @@ impl SimSsd {
                 Some(intended) => {
                     bytes[lo..lo + sec].copy_from_slice(&intended);
                     st.quarantined.remove(&s);
+                    // Ledger repairs go straight to media: the repaired
+                    // sector is durable, not pending in the write cache.
+                    wc.write_through(s, s + 1);
                     report.repaired += 1;
                 }
                 None => {
@@ -589,6 +610,116 @@ impl SimSsd {
     /// Number of sectors the image currently spans (scrubber pacing).
     pub fn sector_count(&self) -> u64 {
         self.shared.image.read().crcs.sectors() as u64
+    }
+
+    /// Flush barrier over one file: every unflushed sector in `file`'s
+    /// extent becomes durable (a power cut can no longer disturb it).
+    /// Returns how many sectors drained. Flush timing is not modeled —
+    /// the barrier is about *ordering*, which is what crash consistency
+    /// depends on, not about latency.
+    pub fn flush(&self, file: FileHandle) -> u64 {
+        let (lo, hi) = {
+            let files = self.shared.files.lock();
+            let Some(meta) = files.get(file.id as usize) else {
+                return 0;
+            };
+            let lo = meta.base / SECTOR_SIZE;
+            let hi = (meta.base + meta.len.next_multiple_of(SECTOR_SIZE)) / SECTOR_SIZE;
+            (lo, hi)
+        };
+        self.shared.wcache.lock().flush_range(lo, hi)
+    }
+
+    /// Whole-device flush barrier; returns how many sectors drained.
+    pub fn flush_all(&self) -> u64 {
+        self.shared.wcache.lock().drain_all()
+    }
+
+    /// Unflushed sectors currently at risk from a power cut.
+    pub fn dirty_sector_count(&self) -> u64 {
+        self.shared.wcache.lock().dirty_len()
+    }
+
+    /// Simulate power loss: every unflushed sector independently (and
+    /// deterministically under `seed`) either drained in time (**kept**),
+    /// is rolled back wholesale to its durable snapshot (**dropped**), or
+    /// is left **torn** — a seeded prefix of the pending bytes over the
+    /// durable suffix, with the CRC table still holding the pending
+    /// checksum and the (equally volatile) intent-ledger entry lost, so
+    /// every later read surfaces a typed persistent
+    /// [`IntegrityError`] until the sector is rewritten. The device
+    /// itself stays up — restart semantics (what the *host* lost) are the
+    /// crash-point registry's job.
+    pub fn power_cut(&self, seed: u64) -> PowerCutReport {
+        let mut image = self.shared.image.write();
+        let DiskImage { bytes, crcs } = &mut *image;
+        let mut st = self.shared.integrity.lock();
+        let mut wc = self.shared.wcache.lock();
+        let dirty = wc.take_sorted();
+        let mut report = PowerCutReport {
+            dirty: dirty.len() as u64,
+            ..Default::default()
+        };
+        wc.counters.power_cuts.inc();
+        let sec = SECTOR_SIZE as usize;
+        for (s, snap) in dirty {
+            let lo = s as usize * sec;
+            let u = mix_unit(seed, s, 29);
+            if u < 1.0 / 3.0 {
+                // Kept: the cache line had drained; pending state (bytes,
+                // CRC, ledger, fence — all already in place) is durable.
+                report.kept += 1;
+                wc.counters.sectors_kept.inc();
+                continue;
+            }
+            if u < 2.0 / 3.0 {
+                // Dropped: restore the durable snapshot wholesale so the
+                // sector reads back as its consistent old version.
+                bytes[lo..lo + sec].copy_from_slice(&snap.durable);
+                crcs.set(s as usize, snap.durable_crc);
+                match snap.durable_intent {
+                    Some(intent) => {
+                        st.intents.insert(s, intent);
+                    }
+                    None => {
+                        st.intents.remove(&s);
+                    }
+                }
+                if snap.durable_quarantined {
+                    if st.quarantined.insert(s) {
+                        self.shared.im.quarantined.inc();
+                    }
+                } else {
+                    st.quarantined.remove(&s);
+                }
+                report.dropped += 1;
+                wc.counters.sectors_dropped.inc();
+                continue;
+            }
+            // Torn: a seeded prefix of the pending bytes made it to media
+            // before the cut (same prefix machinery as injected torn
+            // writes), the rest reverts to the durable suffix.
+            let keep = ((mix_unit(seed, s, 31) * sec as f64) as usize).min(sec);
+            let mut mixed = bytes[lo..lo + sec].to_vec();
+            mixed[keep..].copy_from_slice(&snap.durable[keep..]);
+            let effectively_clean = crc32(&mixed) == crcs.get(s as usize);
+            bytes[lo..lo + sec].copy_from_slice(&mixed);
+            if effectively_clean {
+                // The durable suffix equals the pending one — the tear
+                // changed nothing observable; the sector persisted intact.
+                report.kept += 1;
+                wc.counters.sectors_kept.inc();
+                continue;
+            }
+            // The CRC table keeps the pending checksum, so the mismatch is
+            // persistent and every read detects it; the controller journal
+            // (intent ledger) lived in the same volatile domain, so there
+            // is nothing to repair from — only fencing remains.
+            st.intents.remove(&s);
+            report.torn += 1;
+            wc.counters.sectors_torn.inc();
+        }
+        report
     }
 
     /// Translate (file, offset, len) to an image offset, validating range.
@@ -899,6 +1030,25 @@ fn channel_worker(shared: Arc<Shared>, serve_rx: Receiver<Request>, bulk_rx: Rec
     }
 }
 
+/// Snapshot the durable state of every sector overlapping `[lo, hi)` into
+/// the write cache's undo log (no-op for sectors already dirty). Callers
+/// hold the image write lock; integrity then wcache are taken here in the
+/// conventional order.
+fn capture_dirty(shared: &Shared, image: &DiskImage, lo: usize, hi: usize) {
+    let sec = SECTOR_SIZE as usize;
+    let st = shared.integrity.lock();
+    let mut wc = shared.wcache.lock();
+    for s in lo / sec..=(hi - 1) / sec {
+        let slo = s * sec;
+        wc.capture(s as u64, || DirtySector {
+            durable: image.bytes[slo..slo + sec].to_vec(),
+            durable_crc: image.crcs.get(s),
+            durable_intent: st.intents.get(&(s as u64)).cloned(),
+            durable_quarantined: st.quarantined.contains(&(s as u64)),
+        });
+    }
+}
+
 fn do_copy(shared: &Shared, req: &Request, verdict: &FaultVerdict) -> Result<Vec<u8>, IoError> {
     let (base, file_base, file_len) = {
         let files = shared.files.lock();
@@ -950,6 +1100,12 @@ fn do_copy(shared: &Shared, req: &Request, verdict: &FaultVerdict) -> Result<Vec
         }
         IoOp::Write => {
             let mut image = shared.image.write();
+            // Before the write mutates anything, snapshot the durable
+            // state of every sector it touches into the volatile write
+            // cache's undo log (first-dirty wins, so the snapshot is the
+            // state as of the last flush). A later power cut rolls back
+            // to these snapshots; a flush discards them.
+            capture_dirty(shared, &image, base, base + len);
             if let Some(SilentCorruption::TornWrite { keep }) = verdict.corrupt {
                 let keep = keep as usize;
                 // A tear only matters if the dropped suffix would have

@@ -150,12 +150,13 @@ impl AccessTrace {
         })
     }
 
-    /// Write the artifact to `path`.
+    /// Write the artifact to `path`. The write is crash-atomic
+    /// (stage + fsync + rename via [`telemetry::atomic_write_file`]):
+    /// `path` is only ever observable as its complete old or complete new
+    /// version, so a crash mid-save cannot poison a later
+    /// [`AccessTrace::load_from`] with a truncated artifact.
     pub fn save(&self, path: &Path) -> Result<(), TraceError> {
-        if let Some(dir) = path.parent() {
-            std::fs::create_dir_all(dir)?;
-        }
-        std::fs::write(path, self.to_bytes())?;
+        telemetry::atomic_write_file("trace.save", path, &self.to_bytes())?;
         telemetry::counter("storage.trace.saved").inc();
         Ok(())
     }

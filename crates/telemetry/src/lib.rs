@@ -14,10 +14,12 @@
 //! storage and device crates; telemetry only observes.
 
 pub mod attribution;
+pub mod crash;
 mod histogram;
 pub mod json;
 pub mod metrics;
 mod monitor;
+pub mod persist;
 mod registry;
 mod report;
 mod trace;
@@ -27,8 +29,10 @@ pub use attribution::{
     waits_take, AttributionReport, BatchAttribution, BottleneckVerdict, WaitKind, WaitTimer,
     WaitTotals,
 };
+pub use crash::CrashCut;
 pub use histogram::Histogram;
 pub use json::Json;
+pub use persist::{atomic_write_file, StagedFile};
 pub use metrics::{
     counter, gauge, histogram_ns, reset_metrics, snapshot_metrics, Counter, Gauge, HistSummary,
     HistogramHandle, MetricValue, MetricsSnapshot, Scope,

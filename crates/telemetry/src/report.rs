@@ -182,24 +182,29 @@ impl RunReport {
     /// runs of the same scenario (bench sweeps, test suites, successive
     /// CLI invocations) land as distinct artifacts instead of silently
     /// overwriting each other: a process-local counter supplies the
-    /// starting sequence, and `create_new` skips over artifacts earlier
-    /// processes left behind. Returns the artifact path.
+    /// starting sequence, and create-new publication skips over artifacts
+    /// earlier processes left behind. Returns the artifact path.
+    ///
+    /// The write is crash-atomic: the full JSON is staged to a durable
+    /// temp file first and hard-linked into its final name, so a crash at
+    /// any instant leaves either a complete artifact or none — never the
+    /// truncated `.json` that used to poison `trajectory compare`.
     pub fn write_to_dir(&self, dir: &Path) -> io::Result<PathBuf> {
-        use std::io::Write as _;
         std::fs::create_dir_all(dir)?;
+        let bytes = self.to_json().to_json_string().into_bytes();
+        let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
+        let mut path = dir.join(format!("{}.r{seq:03}.json", self.name));
+        let staged = crate::persist::stage("report.save", &path, &bytes)?;
         loop {
-            let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
-            let path = dir.join(format!("{}.r{seq:03}.json", self.name));
-            match std::fs::OpenOptions::new()
-                .write(true)
-                .create_new(true)
-                .open(&path)
-            {
-                Ok(mut f) => {
-                    f.write_all(self.to_json().to_json_string().as_bytes())?;
+            match staged.publish_new(&path) {
+                Ok(()) => {
+                    staged.discard();
                     return Ok(path);
                 }
-                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
+                    path = dir.join(format!("{}.r{seq:03}.json", self.name));
+                }
                 Err(e) => return Err(e),
             }
         }
@@ -303,6 +308,7 @@ mod tests {
 
     #[test]
     fn writes_artifact_file() {
+        let _g = crate::crash::tests::GATE.lock();
         let dir = std::env::temp_dir().join("gnndrive-report-test");
         let mut r = RunReport::new("unit.write");
         r.metrics = snapshot_metrics();
@@ -315,6 +321,7 @@ mod tests {
 
     #[test]
     fn repeated_runs_land_as_distinct_artifacts() {
+        let _g = crate::crash::tests::GATE.lock();
         let dir = std::env::temp_dir().join("gnndrive-report-seq-test");
         let mut r = RunReport::new("unit.seq");
         r.metrics = snapshot_metrics();

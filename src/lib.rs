@@ -33,16 +33,18 @@ pub mod prelude {
     pub use gnndrive_core::extractor::{extract_batch, ExtractError, ExtractorContext};
     pub use gnndrive_core::parallel::split_segments;
     pub use gnndrive_core::{
-        run_data_parallel, EpochStats, Error, FeatureBufferManager, GnnDriveConfig,
-        InferenceOutcome, ParallelConfig, Pipeline, PipelineBuilder, StackConfig, TrainCheckpoint,
-        TrainingSystem,
+        run_data_parallel, CheckpointError, EpochStats, Error, FeatureBufferManager,
+        GnnDriveConfig, InferenceOutcome, ParallelConfig, Pipeline, PipelineBuilder, StackConfig,
+        TrainCheckpoint, TrainingSystem,
     };
 
     // Graph data and sampling.
     pub use gnndrive_graph::{
         pack_features, Dataset, DatasetSpec, FeatureLayout, MiniDataset, NodeId,
     };
-    pub use gnndrive_sampling::{presample_epoch, InMemTopo, NeighborSampler, PresampleResult};
+    pub use gnndrive_sampling::{
+        presample_epoch, InMemTopo, NeighborSampler, PresampleResult, ScheduleError,
+    };
 
     // Device and model.
     pub use gnndrive_device::{FeatureSlab, GpuDevice};
@@ -51,8 +53,8 @@ pub mod prelude {
     // Storage stack: simulated SSD, memory admission, faults and health.
     pub use gnndrive_storage::{
         crc32, AccessTrace, BeladyPolicy, DeviceHealth, EvictionPolicy, FaultPlan, HealthConfig,
-        HealthState, IoPriority, IoRing, Lane, LruPolicy, MemoryGovernor, PageCache, RetryPolicy,
-        SimSsd, SsdProfile,
+        HealthState, IoPriority, IoRing, Lane, LruPolicy, MemoryGovernor, PageCache,
+        PowerCutReport, RetryPolicy, SimSsd, SsdProfile,
     };
 
     // Online serving tier.
@@ -63,7 +65,7 @@ pub mod prelude {
 
     // Concurrency hygiene and telemetry.
     pub use gnndrive_sync::{LockRank, OrderedMutex};
-    pub use gnndrive_telemetry::{Json, Monitor, RunReport};
+    pub use gnndrive_telemetry::{atomic_write_file, CrashCut, Json, Monitor, RunReport};
     /// Free-function telemetry entry points (`telemetry::counter(..)`, …)
     /// under the name programs already use.
     pub use gnndrive_telemetry as telemetry;

@@ -378,6 +378,123 @@ fn corruption_detection_is_deterministic_and_rows_checksum_clean() {
     );
 }
 
+/// The composed disaster: a mid-epoch checkpoint is persisted durably,
+/// then the device turns pathological (total read faults — the circuit
+/// breaker trips and the rest of the epoch fails fast), a *second*
+/// checkpoint write is cut mid-blob by process death, and the power dies —
+/// tearing or dropping every unflushed sector. The restarted pipeline must
+/// recover from the published slot (the torn one is skipped with a typed
+/// error), resume under a silent bit-rot storm with every corruption
+/// caught, and still finish with weights bit-identical to an uninterrupted
+/// clean run.
+#[test]
+fn power_cut_composed_with_corruption_storm_and_tripped_breaker_recovers() {
+    let _gate = INTEGRITY_GATE.lock();
+    telemetry::crash::disarm();
+    // Identical datasets (same spec seed) on independent devices.
+    let ds_ref = dataset_on(SsdProfile::instant(), 12);
+    let ds = dataset_on(SsdProfile::instant(), 12);
+
+    // Reference: the uninterrupted, fault-free trajectory.
+    let mut reference = pipeline(&ds_ref, false, RetryPolicy::default());
+    let r = reference.train_epoch(0, Some(12));
+    assert!(r.error.is_none(), "{:?}", r.error);
+
+    // Victim: breaker-enabled, trains the first half cleanly and persists
+    // a checkpoint through the full commit-record protocol (flushed, so a
+    // later power cut cannot touch it).
+    let mut cfg = chaos_cfg(false, RetryPolicy::none());
+    cfg.num_extractors = 1;
+    // Smaller window than the dedicated breaker test: the storm phase here
+    // is only six batches, and the trip must land inside it.
+    cfg.health = HealthConfig {
+        window: 8,
+        min_samples: 4,
+        cooldown: Duration::from_millis(50),
+        ..HealthConfig::enabled()
+    };
+    let mut victim = pipeline_cfg(&ds, cfg);
+    let first = victim.train_epoch_range(0, 0, Some(6)).report;
+    assert!(first.error.is_none(), "{:?}", first.error);
+    let ck = victim.checkpoint(0, 6);
+    let slot = ds.ssd.create_file(8 + ck.to_bytes().len() as u64);
+    ck.write_to_slot(&ds.ssd, slot).expect("published checkpoint");
+
+    // The device turns hostile: every read faults, the window fills, the
+    // breaker opens, and the rest of the epoch fails fast instead of
+    // hanging — the crash arrives while the device is already degraded.
+    ds.ssd.set_fault_plan(
+        FaultPlan::new(0x0BAD)
+            .with_read_fault_prob(1.0)
+            .on_file(ds.features_file.id),
+    );
+    let storm = victim.train_epoch_range(0, 6, Some(6)).report;
+    assert_eq!(storm.batches, 0, "no batch survives a total storm");
+    assert_eq!(
+        victim.device_health().state(),
+        HealthState::CircuitOpen,
+        "the burst must trip the breaker"
+    );
+
+    // A rescue checkpoint is mid-persist when the process dies: the crash
+    // registry cuts it right after the blob lands (ordinal 1 ==
+    // checkpoint.ssd.blob), before the flush — then the power goes.
+    let slot2 = ds.ssd.create_file(8 + ck.to_bytes().len() as u64);
+    telemetry::crash::arm(1, 0x9C);
+    ck.write_to_slot(&ds.ssd, slot2)
+        .expect_err("armed cut must kill the write");
+    telemetry::crash::disarm();
+    assert!(
+        ds.ssd.dirty_sector_count() > 0,
+        "the torn write must leave unflushed sectors at risk"
+    );
+    let power = ds.ssd.power_cut(0x50C7);
+    assert!(power.dirty > 0, "{power:?}");
+
+    // Restart. The torn slot is skipped with a typed error; recovery lands
+    // on the published one.
+    ds.ssd.clear_faults();
+    assert!(
+        TrainCheckpoint::read_from_ssd(&ds.ssd, slot2).is_err(),
+        "the half-written slot must never deserialize"
+    );
+    let (idx, rck) =
+        TrainCheckpoint::recover_from_ssd(&ds.ssd, &[slot, slot2]).expect("published slot");
+    assert_eq!(idx, 0, "recovery must skip the torn slot");
+    assert_eq!((rck.epoch, rck.next_batch), (0, 6));
+
+    // Resume under a silent bit-rot storm: every corruption must be caught
+    // and healed by re-reads, none reaching a feature slab.
+    let injected_before = telemetry::counter("storage.integrity.injected").get();
+    let detected_before = telemetry::counter("storage.integrity.detected").get();
+    ds.ssd.set_fault_plan(
+        FaultPlan::new(0xB17F)
+            .with_bit_flips(0.02)
+            .on_file(ds.features_file.id),
+    );
+    let mut resumed = pipeline(&ds, false, RetryPolicy::default().with_max_attempts(8));
+    resumed.restore(&rck).expect("restore");
+    let rest = resumed.train_epoch_range(0, 6, Some(6)).report;
+    ds.ssd.clear_faults();
+    assert!(rest.error.is_none(), "{:?}", rest.error);
+    assert_eq!(rest.failed_batches, 0);
+
+    let injected = telemetry::counter("storage.integrity.injected").get() - injected_before;
+    let detected = telemetry::counter("storage.integrity.detected").get() - detected_before;
+    assert!(injected > 0, "the resume-phase bit-flip plan must fire");
+    assert_eq!(detected, injected, "every corruption must be detected");
+    assert_eq!(
+        telemetry::counter("storage.integrity.escaped").get(),
+        0,
+        "nothing may pass verification silently"
+    );
+    assert_eq!(
+        resumed.model_mut().save(),
+        reference.model_mut().save(),
+        "recovery through the composed disaster must be bit-identical"
+    );
+}
+
 /// The circuit breaker under a stall + error burst: the device stalls and
 /// fails every read, the breaker trips, remaining batches fail fast (the
 /// epoch completes instead of hanging), and once the device heals a

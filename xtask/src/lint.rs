@@ -248,13 +248,16 @@ pub(crate) fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
 
 /// Files whose whole purpose is surviving faults: they must degrade or
 /// return typed errors, never abort the process (`recovery-abort`).
-const RECOVERY_PATHS: [&str; 6] = [
+const RECOVERY_PATHS: [&str; 9] = [
     "crates/storage/src/retry.rs",
     "crates/storage/src/fault.rs",
     "crates/storage/src/integrity.rs",
     "crates/storage/src/scrub.rs",
     "crates/storage/src/health.rs",
+    "crates/storage/src/wcache.rs",
     "crates/core/src/checkpoint.rs",
+    "crates/telemetry/src/crash.rs",
+    "crates/telemetry/src/persist.rs",
 ];
 
 fn classify(rel: &str) -> FileClass {
@@ -883,6 +886,24 @@ const KNOWN_STORAGE_TRACE_METRICS: [&str; 3] = [
     "storage.trace.saved",
     "storage.trace.loaded",
 ];
+/// The volatile write-back cache's closed namespace (DESIGN.md §14):
+/// dirty/flush accounting plus the per-power-cut sector fates.
+const KNOWN_STORAGE_WCACHE_METRICS: [&str; 7] = [
+    "storage.wcache.sectors_dirtied",
+    "storage.wcache.flushes",
+    "storage.wcache.sectors_flushed",
+    "storage.wcache.power_cuts",
+    "storage.wcache.sectors_kept",
+    "storage.wcache.sectors_dropped",
+    "storage.wcache.sectors_torn",
+];
+/// The crash-point registry's closed namespace (DESIGN.md §14): points
+/// traversed while armed/recording, cuts fired, recoveries observed.
+const KNOWN_STORAGE_CRASH_METRICS: [&str; 3] = [
+    "storage.crash.points",
+    "storage.crash.cuts",
+    "storage.crash.recoveries",
+];
 /// The serving tier's closed namespace: admission counters, micro-batch
 /// accounting, the SLO violation tally, the latency/queue/service
 /// histograms, and the queue-depth gauge (DESIGN.md §11).
@@ -936,6 +957,20 @@ fn closed_set_violation(name: &str) -> Option<&'static str> {
             "`storage.trace.*` is the closed access-trace lifecycle set \
              (DESIGN.md §13); extend KNOWN_STORAGE_TRACE_METRICS in xtask \
              alongside the AccessTrace/PageCache counters",
+        );
+    }
+    if name.starts_with("storage.wcache.") && !KNOWN_STORAGE_WCACHE_METRICS.contains(&name) {
+        return Some(
+            "`storage.wcache.*` is the closed write-back cache set \
+             (DESIGN.md §14); extend KNOWN_STORAGE_WCACHE_METRICS in xtask \
+             alongside the WcacheCounters struct",
+        );
+    }
+    if name.starts_with("storage.crash.") && !KNOWN_STORAGE_CRASH_METRICS.contains(&name) {
+        return Some(
+            "`storage.crash.*` is the closed crash-registry set \
+             (DESIGN.md §14); extend KNOWN_STORAGE_CRASH_METRICS in xtask \
+             alongside the registry counters",
         );
     }
     if name.starts_with("serve.") && !KNOWN_SERVE_METRICS.contains(&name) {
@@ -1239,6 +1274,34 @@ mod tests {
         assert_eq!(rules(src), vec!["metric-name"]);
     }
 
+    #[test]
+    fn wcache_namespace_is_a_closed_set() {
+        // Every member of the write-back cache set is accepted …
+        let src = "fn f() {\n    telemetry::counter(\"storage.wcache.sectors_dirtied\");\n    \
+                   telemetry::counter(\"storage.wcache.flushes\");\n    \
+                   telemetry::counter(\"storage.wcache.sectors_flushed\");\n    \
+                   telemetry::counter(\"storage.wcache.power_cuts\");\n    \
+                   telemetry::counter(\"storage.wcache.sectors_kept\");\n    \
+                   telemetry::counter(\"storage.wcache.sectors_dropped\");\n    \
+                   telemetry::counter(\"storage.wcache.sectors_torn\");\n}\n";
+        assert!(rules(src).is_empty());
+        // … a typo'd member is flagged even though it is well-formed.
+        let src = "fn f() { telemetry::counter(\"storage.wcache.sectors_teared\"); }\n";
+        assert_eq!(rules(src), vec!["metric-name"]);
+        let src = "fn f() { telemetry::counter(\"storage.wcache.flushed\"); }\n";
+        assert_eq!(rules(src), vec!["metric-name"]);
+    }
+
+    #[test]
+    fn crash_namespace_is_a_closed_set() {
+        let src = "fn f() {\n    telemetry::counter(\"storage.crash.points\");\n    \
+                   telemetry::counter(\"storage.crash.cuts\");\n    \
+                   telemetry::counter(\"storage.crash.recoveries\");\n}\n";
+        assert!(rules(src).is_empty());
+        let src = "fn f() { telemetry::counter(\"storage.crash.recovered\"); }\n";
+        assert_eq!(rules(src), vec!["metric-name"]);
+    }
+
     // -- rule f: recovery-abort -------------------------------------------
 
     const RECOVERY: FileClass = FileClass {
@@ -1270,7 +1333,10 @@ mod tests {
     #[test]
     fn recovery_path_files_are_classified_from_their_path() {
         assert!(classify("crates/storage/src/health.rs").is_recovery_path);
+        assert!(classify("crates/storage/src/wcache.rs").is_recovery_path);
         assert!(classify("crates/core/src/checkpoint.rs").is_recovery_path);
+        assert!(classify("crates/telemetry/src/crash.rs").is_recovery_path);
+        assert!(classify("crates/telemetry/src/persist.rs").is_recovery_path);
         assert!(!classify("crates/core/src/pipeline.rs").is_recovery_path);
     }
 
